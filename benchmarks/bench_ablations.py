@@ -1,0 +1,82 @@
+"""Ablation benches: what each of the paper's mechanisms buys.
+
+Each bench toggles one mechanism on the real protocol, times the runs, and
+writes the comparison table to ``benchmarks/results/ablation_*.txt``:
+
+- digest round R-2          -> false-detection rate (accuracy)
+- peer forwarding           -> missed-update rate (completeness)
+- DCH takeover              -> cluster survival of a CH crash
+- BGW standby ladder        -> cross-boundary delivery at high loss
+- implicit acknowledgments  -> delivery vs forwarding cost
+"""
+
+from repro.experiments.ablations import (
+    ablation_bgw_count,
+    ablation_dch,
+    ablation_digest,
+    ablation_implicit_ack,
+    ablation_peer_forwarding,
+)
+from repro.experiments.reporting import render_ablation
+
+
+def test_ablation_digest(benchmark, write_result):
+    result = benchmark.pedantic(
+        lambda: ablation_digest(n=40, p=0.3, executions=40, seed=0),
+        rounds=1, iterations=1,
+    )
+    write_result("ablation_digest", render_ablation(result))
+    with_rate = result.metric("with-digests", "rate_per_member_execution")
+    without_rate = result.metric("without-digests", "rate_per_member_execution")
+    assert with_rate < without_rate / 10
+
+
+def test_ablation_peer_forwarding(benchmark, write_result):
+    result = benchmark.pedantic(
+        lambda: ablation_peer_forwarding(n=40, p=0.3, executions=40, seed=0),
+        rounds=1, iterations=1,
+    )
+    write_result("ablation_peer_forwarding", render_ablation(result))
+    with_rate = result.metric(
+        "with-peer-forwarding", "rate_per_member_execution"
+    )
+    without_rate = result.metric(
+        "without-peer-forwarding", "rate_per_member_execution"
+    )
+    assert with_rate < without_rate / 5
+
+
+def test_ablation_dch(benchmark, write_result):
+    result = benchmark.pedantic(
+        lambda: ablation_dch(n=30, p=0.15, executions=6, seed=0),
+        rounds=1, iterations=1,
+    )
+    write_result("ablation_dch", render_ablation(result))
+    assert result.metric("with-dch", "served_in_last_execution") > 0.9
+    assert result.metric("without-dch", "served_in_last_execution") == 0.0
+
+
+def test_ablation_bgw_count(benchmark, write_result):
+    result = benchmark.pedantic(
+        lambda: ablation_bgw_count(p=0.45, trials=8, seed=0),
+        rounds=1, iterations=1,
+    )
+    write_result("ablation_bgw", render_ablation(result))
+    none = result.metric("backups=0", "mean_cross_boundary_knowledge")
+    two = result.metric("backups=2", "mean_cross_boundary_knowledge")
+    assert two >= none
+
+
+def test_ablation_implicit_ack(benchmark, write_result):
+    result = benchmark.pedantic(
+        lambda: ablation_implicit_ack(p=0.45, trials=8, seed=0),
+        rounds=1, iterations=1,
+    )
+    write_result("ablation_implicit_ack", render_ablation(result))
+    with_ack = result.metric(
+        "with-implicit-ack", "mean_cross_boundary_knowledge"
+    )
+    without_ack = result.metric(
+        "without-implicit-ack", "mean_cross_boundary_knowledge"
+    )
+    assert with_ack >= without_ack

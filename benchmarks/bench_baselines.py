@@ -1,0 +1,134 @@
+"""Baseline comparison bench: cluster FDS vs gossip / SWIM / flooding /
+centralized, on the same field, same loss, same faultload.
+
+The paper argues clustering wins on scalability (message cost) and
+locality (no false suspicion of unreachable-but-alive nodes); this bench
+quantifies both.  Results in ``benchmarks/results/baselines.txt``.
+"""
+
+from repro.baselines.centralized import CentralizedConfig, install_centralized
+from repro.baselines.flooding import FloodingConfig, install_flooding
+from repro.baselines.gossip import GossipConfig, install_gossip
+from repro.baselines.swim import SwimConfig, install_swim
+from repro.cluster.geometric import build_clusters
+from repro.failure.injection import FailureInjector
+from repro.fds.config import FdsConfig
+from repro.fds.service import install_fds
+from repro.metrics.collectors import collect_message_counts
+from repro.metrics.properties import evaluate_histories, evaluate_properties
+from repro.sim.network import NetworkConfig, build_network
+from repro.topology.generators import multi_cluster_field
+from repro.topology.graph import UnitDiskGraph
+from repro.util.rng import RngFactory
+from repro.util.tables import render_table
+
+LOSS = 0.1
+HORIZON = 36.0
+
+
+def make_field(seed=0):
+    rngs = RngFactory(seed)
+    placement = multi_cluster_field(4, 25, 100.0, rng=rngs.stream("placement"))
+    return placement
+
+
+def run_fds(placement, seed=0):
+    network = build_network(
+        placement, NetworkConfig(loss_probability=LOSS, seed=seed)
+    )
+    layout = build_clusters(UnitDiskGraph(placement, 100.0))
+    cfg = FdsConfig(phi=10.0, thop=0.5)
+    deployment = install_fds(network, layout, cfg)
+    injector = FailureInjector(network, cfg)
+    victim = sorted(
+        layout.clusters[layout.heads[-1]].ordinary_members
+    )[0]
+    injector.crash_before_execution(victim, 1)
+    deployment.run_executions(6)
+    report = evaluate_properties(deployment)
+    counts = collect_message_counts(deployment)
+    return {
+        "detector": "cluster-fds",
+        "messages": float(counts.transmissions),
+        "completeness": report.completeness[victim],
+        "false_suspicion_pairs": float(len(report.accuracy_violations)),
+    }
+
+
+def run_baseline(placement, installer, name, seed=0, **kwargs):
+    network = build_network(
+        placement, NetworkConfig(loss_probability=LOSS, seed=seed)
+    )
+    deployment = installer(network, until=HORIZON, **kwargs)
+    network.sim.run_until(12.0)
+    victim = sorted(network.operational_ids())[40]
+    network.crash(victim)
+    deployment.run_until(HORIZON)
+    if name == "centralized":
+        histories = {deployment.station: deployment.station_history()}
+        messages = sum(
+            p.heartbeats_sent for p in deployment.protocols.values()
+        )
+    else:
+        histories = deployment.histories()
+        messages = deployment.messages_sent()
+    report = evaluate_histories(network, histories)
+    return {
+        "detector": name,
+        "messages": float(messages),
+        "completeness": report.completeness.get(victim, 0.0),
+        "false_suspicion_pairs": float(len(report.accuracy_violations)),
+    }
+
+
+def test_baseline_comparison(benchmark, write_result):
+    placement = make_field()
+
+    def run_all():
+        rows = [run_fds(placement)]
+        rows.append(
+            run_baseline(
+                placement, install_gossip, "gossip",
+                config=GossipConfig(interval=1.0, fail_after=6.0),
+            )
+        )
+        rows.append(
+            run_baseline(
+                placement, install_swim, "swim(global)",
+                config=SwimConfig(period=1.0, ack_timeout=0.2),
+            )
+        )
+        rows.append(
+            run_baseline(
+                placement, install_flooding, "flooding",
+                config=FloodingConfig(interval=1.0, miss_threshold=4),
+            )
+        )
+        rows.append(
+            run_baseline(
+                placement, install_centralized, "centralized",
+                station=0, config=CentralizedConfig(interval=1.0),
+            )
+        )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    keys = ["detector", "messages", "completeness", "false_suspicion_pairs"]
+    write_result(
+        "baselines",
+        render_table(keys, [[r[k] for k in keys] for r in rows],
+                     title=f"one member crash, p={LOSS}, 104-node field"),
+    )
+    by_name = {r["detector"]: r for r in rows}
+    fds = by_name["cluster-fds"]
+    # The cluster FDS reaches full completeness without false suspicion.
+    assert fds["completeness"] == 1.0
+    assert fds["false_suspicion_pairs"] == 0.0
+    # Gossip and flooding reach the field too but pay more messages for
+    # equal wall-clock coverage.
+    assert by_name["gossip"]["messages"] > fds["messages"]
+    assert by_name["flooding"]["messages"] > fds["messages"]
+    # SWIM with global membership false-suspects unreachable nodes.
+    assert by_name["swim(global)"]["false_suspicion_pairs"] > 0
+    # The centralized station misses the (out-of-range) victim entirely.
+    assert by_name["centralized"]["completeness"] < 1.0

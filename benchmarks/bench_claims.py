@@ -1,0 +1,17 @@
+"""TAB-A1: every quantitative claim the paper's evaluation text makes,
+checked against the reproduced measures and rendered as a checklist
+(``benchmarks/results/claims.txt``).
+
+This is the reproduction-fidelity gate: the paper publishes plots rather
+than tables, so the *claims in the prose* are the checkable ground truth.
+"""
+
+from repro.experiments.figures import check_paper_claims
+from repro.experiments.reporting import render_claims
+
+
+def test_paper_claims_checklist(benchmark, write_result):
+    results = benchmark(check_paper_claims)
+    write_result("claims", render_claims(results))
+    failing = [claim.claim_id for claim, ok in results if not ok]
+    assert failing == [], f"paper claims violated: {failing}"

@@ -1,0 +1,53 @@
+"""Average-case vs worst-case bounds (our extension of Section 5).
+
+The paper's Figures 5 and 7 are worst-case bounds (member on the
+circumference); integrating over uniform member positions gives the
+expected per-member rates a deployment actually pays.  The table shows
+both and their ratio -- i.e. how pessimistic the published bounds are.
+Results in ``benchmarks/results/expected_case.txt``.
+"""
+
+from repro.analysis.expected import (
+    expected_cluster_false_detections,
+    expected_false_detection,
+    expected_incompleteness,
+)
+from repro.analysis.false_detection import p_false_detection
+from repro.analysis.incompleteness import p_incompleteness
+from repro.util.tables import render_table
+
+POINTS = [(50, 0.3), (50, 0.5), (75, 0.5), (100, 0.5)]
+
+
+def sweep():
+    rows = []
+    for n, p in POINTS:
+        worst_fd = p_false_detection(n, p)
+        mean_fd = expected_false_detection(n, p)
+        worst_inc = p_incompleteness(n, p)
+        mean_inc = expected_incompleteness(n, p)
+        rows.append([
+            f"N={n} p={p}",
+            worst_fd, mean_fd, worst_fd / mean_fd,
+            worst_inc, mean_inc, worst_inc / mean_inc,
+            expected_cluster_false_detections(n, p),
+        ])
+    return rows
+
+
+def test_expected_case_table(benchmark, write_result):
+    rows = benchmark(sweep)
+    write_result(
+        "expected_case",
+        render_table(
+            ["point", "fd_worst", "fd_mean", "fd_ratio",
+             "inc_worst", "inc_mean", "inc_ratio", "cluster_fd_per_exec"],
+            rows,
+            title="worst-case bound vs position-averaged expectation",
+        ),
+    )
+    for row in rows:
+        assert row[3] > 1.0  # worst case really is an upper bound
+        assert row[6] > 1.0
+    # The bounds are meaningfully conservative (>= 2x) at every point.
+    assert min(row[3] for row in rows) > 2.0

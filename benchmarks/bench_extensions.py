@@ -1,0 +1,182 @@
+"""Benches for the Section 6 extensions: power management, aggregation,
+and the iid-loss robustness probe.
+
+- ``ablation_sleep``: false detections and energy under sleep/wakeup, with
+  the naive FDS vs the announce-and-excuse mitigation the paper proposes.
+- ``aggregation``: in-network AVG sharing the FDS messages -- accuracy of
+  every clusterhead's global view and the extra-message cost.
+- ``loss_models``: the Figure 5/7 protocol behaviour when the iid Bernoulli
+  assumption is replaced by bursty Gilbert-Elliott loss with the *same*
+  mean rate -- probing the analysis's core modeling assumption.
+"""
+
+import statistics
+
+import numpy as np
+
+from repro.aggregation.combiners import AggregateKind
+from repro.aggregation.service import AggregationConfig, attach_aggregation
+from repro.cluster.geometric import build_clusters
+from repro.energy.model import EnergyConfig, EnergyModel
+from repro.failure.injection import FailureInjector
+from repro.fds import events as ev
+from repro.fds.config import FdsConfig
+from repro.fds.service import install_fds
+from repro.metrics.properties import evaluate_properties
+from repro.power.manager import install_power_management
+from repro.power.schedule import DutyCycleSchedule
+from repro.sim.loss import GilbertElliottLoss
+from repro.sim.network import NetworkConfig, build_network
+from repro.sim.trace import RecordingTracer
+from repro.topology.generators import corridor_field
+from repro.topology.graph import UnitDiskGraph
+from repro.topology.placement import cluster_disk_placement
+from repro.util.tables import render_table
+
+
+def _sleep_run(sleep_aware: bool, seed: int = 9):
+    rng = np.random.default_rng(seed)
+    placement = cluster_disk_placement(24, 100.0, rng)
+    layout = build_clusters(UnitDiskGraph(placement, 100.0))
+    tracer = RecordingTracer()
+    network = build_network(
+        placement, NetworkConfig(loss_probability=0.05, seed=4), tracer=tracer
+    )
+    cfg = FdsConfig(phi=5.0, thop=0.5, sleep_aware=sleep_aware)
+    energy = EnergyModel(EnergyConfig(harvest_rate=0.0))
+    deployment = install_fds(network, layout, cfg, energy=energy)
+    install_power_management(
+        deployment,
+        DutyCycleSchedule(awake=2, asleep_count=1),
+        announce_sleep=sleep_aware,
+    )
+    FailureInjector(network, cfg).crash_before_execution(7, 3)
+    deployment.run_executions(9)
+    report = evaluate_properties(deployment)
+    return {
+        "mode": "announce+excuse" if sleep_aware else "naive-sleep",
+        "detections": float(tracer.count(ev.DETECTION)),
+        "false_suspicion_pairs": float(len(report.accuracy_violations)),
+        "crash_completeness": report.completeness.get(7, 0.0),
+        "radio_ops": energy.totals()["rx_total"] + energy.totals()["tx_total"],
+    }
+
+
+def test_ablation_sleep(benchmark, write_result):
+    rows = benchmark.pedantic(
+        lambda: [_sleep_run(True), _sleep_run(False)], rounds=1, iterations=1
+    )
+    keys = ["mode", "detections", "false_suspicion_pairs",
+            "crash_completeness", "radio_ops"]
+    write_result(
+        "ablation_sleep",
+        render_table(keys, [[r[k] for k in keys] for r in rows],
+                     title="sleep/wakeup: naive vs announced (1 real crash)"),
+    )
+    aware, naive = rows
+    assert aware["detections"] <= 3  # essentially just the real crash
+    assert naive["detections"] > 10 * aware["detections"]
+    assert aware["crash_completeness"] == 1.0
+
+
+def test_aggregation_accuracy_and_cost(benchmark, write_result):
+    def run():
+        rng = np.random.default_rng(5)
+        placement = corridor_field(3, 25, 100.0, rng)
+        layout = build_clusters(UnitDiskGraph(placement, 100.0))
+        network = build_network(
+            placement, NetworkConfig(loss_probability=0.1, seed=2)
+        )
+        cfg = FdsConfig(phi=10.0, thop=0.5)
+        deployment = install_fds(network, layout, cfg)
+        values = {int(n): 20.0 + int(n) % 7 for n in network.nodes}
+        services = attach_aggregation(
+            deployment, lambda nid, k: values[int(nid)],
+            AggregationConfig(kind=AggregateKind.AVG),
+        )
+        injector = FailureInjector(network, cfg)
+        victim = sorted(
+            layout.clusters[layout.heads[1]].ordinary_members
+        )[0]
+        injector.crash_before_execution(victim, 2)
+        deployment.run_executions(6)
+        truth = statistics.mean(
+            values[int(n)] for n in network.operational_ids()
+        )
+        rows = []
+        for head in layout.heads:
+            service = services[head]
+            rows.append([
+                f"CH {head}",
+                service.current_value(),
+                truth,
+                float(service.contributor_count()),
+                float(len(network.operational_ids())),
+            ])
+        extra = sum(s.shares_sent for s in services.values())
+        return rows, extra, truth, services, layout, network
+
+    rows, extra, truth, services, layout, network = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    write_result(
+        "aggregation",
+        render_table(
+            ["head", "aggregate", "truth", "contributors", "operational"],
+            rows,
+            title=f"in-network AVG over the FDS (extra messages: {extra})",
+        ),
+    )
+    for head in layout.heads:
+        assert services[head].current_value() == truth
+    # Message sharing: the aggregation layer's own traffic is tiny.
+    assert extra < len(network.nodes)
+
+
+def test_loss_model_robustness(benchmark, write_result):
+    """The protocol under bursty loss at the same mean rate as iid."""
+
+    def run(loss_model, label, seed):
+        rng = np.random.default_rng(11)
+        placement = cluster_disk_placement(39, 100.0, rng)
+        layout = build_clusters(UnitDiskGraph(placement, 100.0))
+        tracer = RecordingTracer()
+        network = build_network(
+            placement,
+            NetworkConfig(loss_probability=0.2, seed=seed),
+            loss_model=loss_model,
+            tracer=tracer,
+        )
+        cfg = FdsConfig(phi=5.0, thop=0.5)
+        deployment = install_fds(network, layout, cfg)
+        FailureInjector(network, cfg).crash_before_execution(11, 2)
+        deployment.run_executions(10)
+        report = evaluate_properties(deployment)
+        return {
+            "loss_model": label,
+            "false_detections": float(
+                sum(1 for r in tracer.iter_kind(ev.DETECTION)
+                    if r.detail["target"] != 11)
+            ),
+            "crash_completeness": report.completeness.get(11, 0.0),
+            "residual_violations": float(len(report.accuracy_violations)),
+        }
+
+    def run_all():
+        bursty = GilbertElliottLoss(p_good=0.05, p_bad=0.8, p_gb=0.05, p_bg=0.2)
+        rows = [run(None, f"iid p=0.2", 3)]
+        rows.append(
+            run(bursty, f"gilbert-elliott mean={bursty.stationary_loss_rate:.2f}", 3)
+        )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    keys = ["loss_model", "false_detections", "crash_completeness",
+            "residual_violations"]
+    write_result(
+        "loss_models",
+        render_table(keys, [[r[k] for k in keys] for r in rows],
+                     title="iid vs bursty loss at equal mean rate"),
+    )
+    for r in rows:
+        assert r["crash_completeness"] == 1.0

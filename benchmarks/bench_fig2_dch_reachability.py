@@ -1,0 +1,49 @@
+"""FIG-2: the DCH reachability study (summarized in Section 4.2).
+
+The paper reports the result of a model-based analysis it had no space to
+print: "unless the node population density is low and the DCH's distance
+from the original CH is big, with high probability a DCH will be able to
+hear from an 'out-of-range' cluster member through the round of digest
+diffusion."  This bench regenerates that study as a table of
+P(DCH unaware of an out-of-range member) over (N, dch_distance) at
+p = 0.1, written to ``benchmarks/results/fig2_dch_reachability.txt``.
+"""
+
+from repro.analysis.reachability import dch_reachability_failure
+from repro.util.tables import render_table
+
+N_VALUES = (25, 50, 75, 100)
+DISTANCES = (20.0, 40.0, 60.0, 80.0, 95.0)
+P = 0.1
+
+
+def sweep():
+    rows = []
+    for d in DISTANCES:
+        row = [d]
+        for n in N_VALUES:
+            row.append(dch_reachability_failure(n, P, dch_distance=d,
+                                                resolution=400))
+        rows.append(row)
+    return rows
+
+
+def test_dch_reachability_study(benchmark, write_result):
+    rows = benchmark(sweep)
+    table = render_table(
+        ["dch_distance", *(f"N={n}" for n in N_VALUES)],
+        rows,
+        title=f"P(DCH unaware of out-of-range member), p={P}",
+    )
+    write_result("fig2_dch_reachability", table)
+
+    by_distance = {row[0]: row[1:] for row in rows}
+    # Dense clusters: unaware-probability negligible unless d is large.
+    assert by_distance[40.0][N_VALUES.index(100) ] < 1e-6
+    assert by_distance[40.0][N_VALUES.index(50)] < 1e-2
+    # The paper's caveat: low density AND big distance is the bad corner.
+    assert by_distance[95.0][N_VALUES.index(25)] > 0.05
+    # Monotone: more density always helps, more distance always hurts.
+    for row in rows:
+        values = row[1:]
+        assert all(a > b for a, b in zip(values, values[1:]))

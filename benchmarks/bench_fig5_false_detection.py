@@ -1,0 +1,40 @@
+"""FIG-5: regenerate Figure 5 -- P^(False detection) vs p for N in
+{50, 75, 100} -- and benchmark the evaluation.
+
+The benchmark times the full-grid sweep (30 closed-form evaluations); the
+regenerated curves are written to ``benchmarks/results/fig5.txt`` and
+checked against the paper's reported behaviour (axis span, ordering,
+monotonicity, the "very small even at p = 0.5" claims).
+"""
+
+from repro.analysis.false_detection import p_false_detection
+from repro.experiments.figures import figure5_false_detection, render_figure
+
+
+def test_fig5_regeneration(benchmark, write_result):
+    series = benchmark(figure5_false_detection)
+    write_result("fig5", render_figure(series, "Figure 5: P^(False detection)"))
+
+    # Shape checks against the published figure.
+    for n in (50, 75, 100):
+        curve = series.curves[n]
+        assert all(a < b for a, b in zip(curve, curve[1:])), "monotone in p"
+        assert curve[0] > 1e-25, "top of the paper's axis span"
+        assert curve[-1] < 1.0
+    # Curves ordered by density: N=50 worst, N=100 best, everywhere.
+    for i in range(len(series.p_values)):
+        assert series.curves[50][i] > series.curves[75][i] > series.curves[100][i]
+    # The paper's headline claims.
+    assert series.value_at(50, 0.5) < 1e-2       # "still very reasonable"
+    assert series.value_at(75, 0.5) < 1e-3       # "very small"
+    assert series.value_at(100, 0.5) < 1e-4      # "very small"
+
+
+def test_fig5_literal_form_benchmark(benchmark):
+    """The paper's O(N^2) double sum, timed at the heaviest grid point."""
+    from repro.analysis.false_detection import p_false_detection_literal
+
+    result = benchmark(p_false_detection_literal, 100, 0.5)
+    assert result == p_false_detection(100, 0.5) or abs(
+        result - p_false_detection(100, 0.5)
+    ) < 1e-12 * result

@@ -1,0 +1,46 @@
+"""FIG-6: regenerate Figure 6 -- P(False detection on CH) vs p for N in
+{50, 75, 100} -- and benchmark the evaluation.
+
+Written to ``benchmarks/results/fig6.txt``.  Shape checks encode the
+paper's text: negligible below p = 0.25, below 1e-6 even at N=50 / p=0.5,
+and always below the corresponding Figure 5 value (the DCH is safer than
+the CH).
+"""
+
+from repro.analysis.ch_false_detection import p_false_detection_on_ch_log10
+from repro.analysis.false_detection import p_false_detection
+from repro.experiments.figures import (
+    figure6_false_detection_on_ch,
+    render_figure,
+)
+
+
+def test_fig6_regeneration(benchmark, write_result):
+    series = benchmark(figure6_false_detection_on_ch)
+    write_result(
+        "fig6", render_figure(series, "Figure 6: P(False detection on CH)")
+    )
+
+    for n in (50, 75, 100):
+        curve = series.curves[n]
+        assert all(a <= b for a, b in zip(curve, curve[1:]))
+    # Paper: "practically negligible or extremely low when p is below 0.25".
+    for n in (50, 75, 100):
+        assert series.value_at(n, 0.20) < 1e-20
+    # Paper: "still below 10^-6 even when N drops to 50" (p = 0.5).
+    assert series.value_at(50, 0.5) < 1e-6
+    # Paper: the CH is *more* likely than the DCH to false-detect.
+    for n in (50, 75, 100):
+        for p in series.p_values:
+            assert series.value_at(n, p) < p_false_detection(n, p)
+
+
+def test_fig6_log_domain_reaches_paper_axis(benchmark, write_result):
+    """The paper's y-axis reaches 1e-120; the log-domain form must cover
+    the whole plotted range without underflow."""
+
+    def deepest_point():
+        return p_false_detection_on_ch_log10(100, 0.05)
+
+    log10_value = benchmark(deepest_point)
+    assert -120.0 < log10_value < -90.0

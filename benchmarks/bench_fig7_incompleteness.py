@@ -1,0 +1,31 @@
+"""FIG-7: regenerate Figure 7 -- P^(Incompleteness) vs p for N in
+{50, 75, 100} -- and benchmark the evaluation.
+
+Written to ``benchmarks/results/fig7.txt``.  Shape checks encode the
+paper's observations: robust against loss, big density win from N=50 to
+N=100, and higher sensitivity to p at larger N.
+"""
+
+import math
+
+from repro.experiments.figures import figure7_incompleteness, render_figure
+
+
+def test_fig7_regeneration(benchmark, write_result):
+    series = benchmark(figure7_incompleteness)
+    write_result("fig7", render_figure(series, "Figure 7: P^(Incompleteness)"))
+
+    for n in (50, 75, 100):
+        curve = series.curves[n]
+        assert all(a < b for a, b in zip(curve, curve[1:]))
+        # Peer forwarding always improves on the raw broadcast loss p.
+        for p, value in zip(series.p_values, curve):
+            assert value < p
+    # Paper: N 50 -> 100 decreases the measure significantly.
+    for i, p in enumerate(series.p_values):
+        assert series.curves[100][i] < series.curves[50][i] * 0.15
+    # Paper: sensitivity to p grows with N (curves steepen).
+    def decades(n):
+        return math.log10(series.curves[n][-1]) - math.log10(series.curves[n][0])
+
+    assert decades(100) > decades(75) > decades(50)

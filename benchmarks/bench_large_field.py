@@ -1,0 +1,40 @@
+"""Large-field bench: the paper's "hundreds or thousands of hosts".
+
+A 972-node, 36-cluster field with 4 concurrent crashes at p = 0.1 -- the
+population scale the paper's application model states (Section 2.1).
+Checks that the properties and the per-node cost hold at that scale, and
+times the full run (the simulator's headline throughput number).
+Results in ``benchmarks/results/large_field.txt``.
+"""
+
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.util.tables import render_table
+
+
+def test_thousand_node_field(benchmark, write_result):
+    config = ScenarioConfig(
+        cluster_count=36,
+        members_per_cluster=26,
+        loss_probability=0.1,
+        crash_count=4,
+        executions=3,
+        seed=1,
+    )
+    result = benchmark.pedantic(
+        lambda: run_scenario(config), rounds=1, iterations=1
+    )
+    summary = result.summary()
+    write_result(
+        "large_field",
+        render_table(
+            ["metric", "value"],
+            [[k, v] for k, v in summary.items()],
+            title="972-node field, 4 crashes, p=0.1, 3 executions",
+        ),
+    )
+    assert len(result.network) > 900
+    assert result.properties.mean_completeness == 1.0
+    assert result.properties.accuracy_violations == ()
+    # Locality: same per-node cost as the 52-node field (bench_scenario_scale).
+    per_node_per_exec = result.messages.transmissions / len(result.network) / 3
+    assert per_node_per_exec < 3.5

@@ -1,0 +1,79 @@
+"""Mobility extension bench: FDS properties vs node speed.
+
+The paper defers host migration but claims the framework extends to it.
+This bench moves nodes with random-waypoint mobility at increasing speeds,
+re-forms clusters every other execution, and reports completeness /
+residual suspicion -- locating the speed envelope where the stationary
+analysis still holds.  Results in ``benchmarks/results/mobility.txt``.
+"""
+
+import numpy as np
+
+from repro.cluster.remediation import ReclusteringPolicy
+from repro.failure.injection import FailureInjector
+from repro.fds.config import FdsConfig
+from repro.metrics.properties import evaluate_properties
+from repro.sim.mobility import RandomWaypoint
+from repro.topology.generators import multi_cluster_field
+from repro.cluster.geometric import build_clusters
+from repro.fds.service import install_fds
+from repro.sim.network import NetworkConfig, build_network
+from repro.topology.graph import UnitDiskGraph
+from repro.util.rng import RngFactory
+from repro.util.tables import render_table
+
+SPEEDS = (0.0, 1.0, 3.0)
+
+
+def deploy(placement, p, seed, fds_config):
+    layout = build_clusters(UnitDiskGraph(placement, radius=100.0))
+    network = build_network(
+        placement, NetworkConfig(loss_probability=p, seed=seed)
+    )
+    deployment = install_fds(network, layout, fds_config)
+    return deployment, layout, None, network
+
+
+def run_speed(speed: float, seed: int = 8):
+    rngs = RngFactory(seed)
+    placement = multi_cluster_field(
+        3, 20, 100.0, rng=rngs.stream("placement")
+    )
+    cfg = FdsConfig(phi=10.0, thop=0.5)
+    deployment, layout, _tracer, network = deploy(
+        placement, p=0.05, seed=seed, fds_config=cfg
+    )
+    if speed > 0:
+        mobility = RandomWaypoint(
+            width=500.0, height=300.0, speed_min=speed * 0.5,
+            speed_max=speed, rng=rngs.stream("mobility"),
+        )
+        mobility.install(network.sim, network.medium, tick=1.0, until=1000.0)
+    injector = FailureInjector(network, cfg)
+    victim = sorted(layout.clusters[layout.heads[1]].ordinary_members)[0]
+    injector.crash_before_execution(victim, execution=1)
+    policy = ReclusteringPolicy(deployment)
+    policy.run_with_reclustering(6, recluster_every=2)
+    report = evaluate_properties(deployment)
+    return {
+        "speed_mps": speed,
+        "completeness": report.completeness[victim],
+        "false_suspicion_pairs": float(len(report.accuracy_violations)),
+        "reclusterings": float(policy.reclusterings),
+    }
+
+
+def test_mobility_envelope(benchmark, write_result):
+    rows = benchmark.pedantic(
+        lambda: [run_speed(s) for s in SPEEDS], rounds=1, iterations=1
+    )
+    keys = ["speed_mps", "completeness", "false_suspicion_pairs",
+            "reclusterings"]
+    write_result(
+        "mobility",
+        render_table(keys, [[r[k] for k in keys] for r in rows],
+                     title="FDS under random-waypoint mobility "
+                           "(recluster every 2 executions)"),
+    )
+    assert rows[0]["completeness"] == 1.0  # stationary baseline
+    assert rows[1]["completeness"] >= 0.9  # 1 m/s: well inside the envelope

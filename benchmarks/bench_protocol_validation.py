@@ -1,0 +1,55 @@
+"""Protocol-in-the-loop validation: the real FDS vs the Figure 5/7 math.
+
+Runs the actual three-round protocol (real rounds, digests, peer
+forwarding) on the paper's Section 5 single-cluster setup at the
+measurable corner (N=50, p=0.5) and checks the observed incompleteness
+rate against the closed form's 99% interval.  This is the slowest bench
+(a full discrete-event run); the timing documents simulator throughput.
+Results in ``benchmarks/results/protocol_validation.txt``.
+"""
+
+from repro.experiments.scenarios import (
+    single_cluster_validation,
+    validation_summary,
+)
+from repro.util.tables import render_table
+
+EXECUTIONS = 150
+
+
+def test_protocol_validation(benchmark, write_result):
+    result = benchmark.pedantic(
+        lambda: single_cluster_validation(
+            n=50, p=0.5, executions=EXECUTIONS, seed=7
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    summary = validation_summary(result)
+    write_result(
+        "protocol_validation",
+        render_table(
+            ["metric", "measured", "analytic", "ci_low", "ci_high"],
+            [
+                [
+                    "incompleteness rate",
+                    summary["inc_rate_measured"],
+                    summary["inc_rate_analytic"],
+                    summary["inc_ci_low"],
+                    summary["inc_ci_high"],
+                ],
+                [
+                    "false detections (events)",
+                    float(result.false_detections),
+                    result.analytic_false_detection * EXECUTIONS,
+                    summary["fd_ci_low"] * EXECUTIONS,
+                    summary["fd_ci_high"] * EXECUTIONS,
+                ],
+            ],
+            title="real protocol vs closed forms (N=50, p=0.5)",
+        ),
+    )
+    low, high = result.incompleteness_interval()
+    assert low <= result.analytic_incompleteness <= high
+    # No lasting suspicion of operational nodes once the run quiesces.
+    assert result.accuracy_violations_final <= 2

@@ -1,0 +1,32 @@
+"""Replication bench: the headline properties across 10 independent seeds.
+
+One seeded run proves little; this bench replicates the core scenario
+(4 clusters, 2 crashes, p = 0.15) across 10 seeds and reports aggregate
+completeness/accuracy -- the statistical statement EXPERIMENTS.md quotes.
+Results in ``benchmarks/results/repeatability.txt``.
+"""
+
+from repro.experiments.repeat import repeat_scenario
+from repro.experiments.runner import ScenarioConfig
+
+SEEDS = tuple(range(10))
+
+
+def test_repeatability(benchmark, write_result):
+    config = ScenarioConfig(
+        cluster_count=4,
+        members_per_cluster=25,
+        loss_probability=0.15,
+        crash_count=2,
+        executions=5,
+    )
+    result = benchmark.pedantic(
+        lambda: repeat_scenario(config, SEEDS), rounds=1, iterations=1
+    )
+    write_result("repeatability", result.as_table())
+    # Completeness 1.0 on every one of the 10 seeds.
+    assert result.worst("mean_completeness") == 1.0
+    # Zero lasting false suspicions on every seed.
+    assert result.metrics["accuracy_violations"].maximum == 0.0
+    # Observed loss tracks the configured probability.
+    assert abs(result.mean("observed_loss_rate") - 0.15) < 0.01

@@ -1,0 +1,51 @@
+"""Scalability bench: FDS cost as the field grows.
+
+The paper's scalability argument: per-node FDS cost is local (O(cluster)),
+so total message cost grows linearly with the field while a flat protocol
+grows superlinearly.  This bench measures transmissions per node per
+execution across field sizes and asserts it stays flat.  Results in
+``benchmarks/results/scalability.txt``.
+"""
+
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.util.tables import render_table
+
+SIZES = (2, 4, 9)
+
+
+def run_size(cluster_count: int):
+    config = ScenarioConfig(
+        cluster_count=cluster_count,
+        members_per_cluster=25,
+        loss_probability=0.1,
+        crash_count=1,
+        executions=4,
+        seed=17,
+    )
+    result = run_scenario(config)
+    nodes = len(result.network)
+    per_node_per_exec = result.messages.transmissions / nodes / 4
+    return {
+        "clusters": cluster_count,
+        "nodes": nodes,
+        "tx_per_node_per_execution": per_node_per_exec,
+        "mean_completeness": result.properties.mean_completeness,
+    }
+
+
+def test_scalability_sweep(benchmark, write_result):
+    rows = benchmark.pedantic(
+        lambda: [run_size(c) for c in SIZES], rounds=1, iterations=1
+    )
+    keys = ["clusters", "nodes", "tx_per_node_per_execution",
+            "mean_completeness"]
+    write_result(
+        "scalability",
+        render_table(keys, [[r[k] for k in keys] for r in rows],
+                     title="FDS cost vs field size (p=0.1)"),
+    )
+    costs = [r["tx_per_node_per_execution"] for r in rows]
+    # Locality: per-node cost does not grow with the field (within 30%).
+    assert max(costs) < 1.3 * min(costs)
+    for r in rows:
+        assert r["mean_completeness"] == 1.0

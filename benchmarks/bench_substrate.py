@@ -1,0 +1,78 @@
+"""Microbenchmarks of the substrate: engine, medium, clustering, formation.
+
+These document the simulator's throughput (events/s, transmissions/s) and
+the cost of the structural algorithms, so scenario runtimes are
+predictable.
+"""
+
+import numpy as np
+
+from repro.cluster.formation import FormationConfig, run_formation
+from repro.cluster.geometric import build_clusters
+from repro.sim.engine import Simulator
+from repro.sim.network import NetworkConfig, build_network
+from repro.topology.graph import UnitDiskGraph
+from repro.topology.placement import uniform_rect_placement
+
+
+def test_engine_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.schedule_in(0.001, tick)
+
+        sim.schedule_in(0.001, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_medium_broadcast_throughput(benchmark, rng_seed=3):
+    rng = np.random.default_rng(rng_seed)
+    placement = uniform_rect_placement(200, 500.0, 500.0, rng)
+    network = build_network(
+        placement, NetworkConfig(loss_probability=0.1, seed=1)
+    )
+
+    def blast():
+        for nid in list(network.nodes)[:50]:
+            network.medium.transmit(nid, "payload")
+        network.sim.run()
+        return network.medium.transmissions
+
+    assert benchmark(blast) > 0
+
+
+def test_unit_disk_graph_construction(benchmark):
+    rng = np.random.default_rng(5)
+    placement = uniform_rect_placement(1000, 1500.0, 1500.0, rng)
+    graph = benchmark(UnitDiskGraph, placement, 100.0)
+    assert len(graph) == 1000
+
+
+def test_oracle_clustering_1000_nodes(benchmark):
+    rng = np.random.default_rng(6)
+    placement = uniform_rect_placement(1000, 1500.0, 1500.0, rng)
+    graph = UnitDiskGraph(placement, 100.0)
+    layout = benchmark(build_clusters, graph)
+    assert len(layout.clusters) >= 10
+
+
+def test_distributed_formation_300_nodes(benchmark):
+    rng = np.random.default_rng(7)
+    placement = uniform_rect_placement(300, 800.0, 800.0, rng)
+
+    def form():
+        network = build_network(
+            placement, NetworkConfig(loss_probability=0.05, seed=2)
+        )
+        return run_formation(network, FormationConfig(thop=0.5, iterations=3))
+
+    layout = benchmark.pedantic(form, rounds=1, iterations=1)
+    assert len(layout.clustered_nodes()) > 250

@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures``
+    Print the paper's Figures 5-7 as tables (closed-form evaluation).
+``claims``
+    Check every quantitative claim of the paper's evaluation prose.
+``validate``
+    Monte Carlo + protocol-in-the-loop validation at a chosen (N, p).
+``scenario``
+    Run an end-to-end multi-cluster scenario with crashes and print the
+    scored summary.
+``reachability``
+    Print the DCH reachability study (the analysis the paper summarizes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_figures(_args: argparse.Namespace) -> int:
+    from repro.experiments.figures import (
+        figure5_false_detection,
+        figure6_false_detection_on_ch,
+        figure7_incompleteness,
+        render_figure,
+    )
+
+    for series, title in (
+        (figure5_false_detection(), "Figure 5: P^(False detection)"),
+        (figure6_false_detection_on_ch(), "Figure 6: P(False detection on CH)"),
+        (figure7_incompleteness(), "Figure 7: P^(Incompleteness)"),
+    ):
+        print(render_figure(series, title))
+        print()
+    return 0
+
+
+def _cmd_claims(_args: argparse.Namespace) -> int:
+    from repro.experiments.figures import check_paper_claims
+    from repro.experiments.reporting import render_claims
+
+    results = check_paper_claims()
+    print(render_claims(results))
+    return 0 if all(ok for _claim, ok in results) else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.analysis.false_detection import p_false_detection
+    from repro.analysis.incompleteness import p_incompleteness
+    from repro.analysis.montecarlo import mc_false_detection, mc_incompleteness
+    from repro.experiments.scenarios import (
+        single_cluster_validation,
+        validation_summary,
+    )
+
+    n, p = args.n, args.p
+    rng = np.random.default_rng(args.seed)
+    print(f"validating N={n}, p={p}")
+    mc_fd = mc_false_detection(n, p, trials=args.trials, rng=rng)
+    mc_inc = mc_incompleteness(n, p, trials=args.trials, rng=rng)
+    print(f"  P^(FD):  closed={p_false_detection(n, p):.4e}  "
+          f"mc={mc_fd.estimate:.4e}  in-CI={mc_fd.contains(p_false_detection(n, p))}")
+    print(f"  P^(Inc): closed={p_incompleteness(n, p):.4e}  "
+          f"mc={mc_inc.estimate:.4e}  in-CI={mc_inc.contains(p_incompleteness(n, p))}")
+    if args.protocol:
+        result = single_cluster_validation(
+            n=n, p=p, executions=args.executions, seed=args.seed
+        )
+        summary = validation_summary(result)
+        print(f"  protocol: inc measured={summary['inc_rate_measured']:.4f} "
+              f"ci=({summary['inc_ci_low']:.4f}, {summary['inc_ci_high']:.4f})")
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import ScenarioConfig, run_scenario
+
+    config = ScenarioConfig(
+        cluster_count=args.clusters,
+        members_per_cluster=args.members,
+        loss_probability=args.p,
+        crash_count=args.crashes,
+        executions=args.executions,
+        seed=args.seed,
+        formation=args.formation,
+    )
+    result = run_scenario(config)
+    for key, value in result.summary().items():
+        print(f"  {key:26s} {value:.6g}")
+    return 0 if result.properties.is_accurate else 1
+
+
+def _cmd_reachability(args: argparse.Namespace) -> int:
+    from repro.analysis.reachability import dch_reachability_failure
+    from repro.util.tables import render_table
+
+    ns = (25, 50, 75, 100)
+    rows = []
+    for d in (20.0, 40.0, 60.0, 80.0, 95.0):
+        rows.append(
+            [d, *(dch_reachability_failure(n, args.p, dch_distance=d)
+                  for n in ns)]
+        )
+    print(render_table(
+        ["dch_distance", *(f"N={n}" for n in ns)], rows,
+        title=f"P(DCH unaware of out-of-range member), p={args.p}",
+    ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cluster-based FDS (DSN 2004) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="print Figures 5-7 as tables")
+    sub.add_parser("claims", help="check the paper's evaluation claims")
+
+    validate = sub.add_parser("validate", help="cross-validate the measures")
+    validate.add_argument("--n", type=int, default=50)
+    validate.add_argument("--p", type=float, default=0.5)
+    validate.add_argument("--trials", type=int, default=100_000)
+    validate.add_argument("--seed", type=int, default=0)
+    validate.add_argument("--protocol", action="store_true",
+                          help="also run the real protocol (slow)")
+    validate.add_argument("--executions", type=int, default=150)
+
+    scenario = sub.add_parser("scenario", help="run an end-to-end scenario")
+    scenario.add_argument("--clusters", type=int, default=4)
+    scenario.add_argument("--members", type=int, default=30)
+    scenario.add_argument("--p", type=float, default=0.1)
+    scenario.add_argument("--crashes", type=int, default=2)
+    scenario.add_argument("--executions", type=int, default=5)
+    scenario.add_argument("--seed", type=int, default=0)
+    scenario.add_argument("--formation", choices=("oracle", "protocol"),
+                          default="oracle")
+
+    reach = sub.add_parser("reachability", help="DCH reachability study")
+    reach.add_argument("--p", type=float, default=0.1)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "figures": _cmd_figures,
+        "claims": _cmd_claims,
+        "validate": _cmd_validate,
+        "scenario": _cmd_scenario,
+        "reachability": _cmd_reachability,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Cluster-based in-network aggregation (the paper's Section 6 outlook).
+
+The concluding remarks propose that "a cluster-based FDS may become an
+integral part of application-level host coordination activities":
+aggregation queries (average / maximum / minimum of sensor measurements)
+can share the cluster architecture and even the FDS's own messages, with
+two anticipated benefits -- energy efficiency from message sharing, and
+better failure detection accuracy from sharing reliable-aggregation
+machinery.
+
+This package implements that proposal:
+
+- :class:`~repro.aggregation.service.AggregationService` piggybacks each
+  node's current measurement on its FDS heartbeat (message sharing: zero
+  extra transmissions for the intra-cluster phase);
+- clusterheads fold member measurements into a partial
+  :class:`~repro.aggregation.combiners.Aggregate` and piggyback it on
+  their R-3 health-status updates, where gateways overhear and forward it
+  along the same backbone the failure reports use;
+- failed members are excluded from the aggregate the moment the FDS
+  detects them, so the query layer inherits the FDS's view of liveness.
+"""
+
+from repro.aggregation.combiners import Aggregate, AggregateKind
+from repro.aggregation.service import (
+    AggregationConfig,
+    AggregationService,
+    attach_aggregation,
+)
+
+__all__ = [
+    "Aggregate",
+    "AggregateKind",
+    "AggregationService",
+    "AggregationConfig",
+    "attach_aggregation",
+]

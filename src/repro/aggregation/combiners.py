@@ -1,0 +1,93 @@
+"""Decomposable aggregates (TAG-style: min / max / sum / count / avg).
+
+An :class:`Aggregate` is a partial state record that merges associatively
+and commutatively, so cluster-level partials combine in any order along
+the backbone -- the "streaming aggregates" style the paper cites (Madden
+et al. [12]).  Duplicate-sensitivity is handled by tracking contributor
+sets: merging the same cluster's partial twice is a no-op, which matters
+because the backbone floods partials redundantly for loss tolerance.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping
+
+from repro.errors import ConfigurationError
+from repro.types import NodeId
+
+
+class AggregateKind(enum.Enum):
+    """The decomposable aggregate functions supported."""
+
+    MIN = "min"
+    MAX = "max"
+    SUM = "sum"
+    COUNT = "count"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """A partial aggregate over a set of contributing nodes.
+
+    ``contributors`` makes merging idempotent: partials whose contributor
+    sets overlap are merged via their per-node values, never by naive
+    recombination, so redundant delivery cannot double-count.
+    """
+
+    kind: AggregateKind
+    #: Per-contributor raw measurements.  Kept exact because cluster
+    #: populations are small (tens of nodes); a production system would
+    #: switch to synopses above a size threshold.
+    values: Mapping[NodeId, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", dict(self.values))
+
+    @property
+    def contributors(self) -> FrozenSet[NodeId]:
+        return frozenset(self.values)
+
+    def merge(self, other: "Aggregate") -> "Aggregate":
+        """Combine two partials (associative, commutative, idempotent)."""
+        if other.kind is not self.kind:
+            raise ConfigurationError(
+                f"cannot merge {other.kind} into {self.kind}"
+            )
+        merged = dict(self.values)
+        merged.update(other.values)
+        return Aggregate(kind=self.kind, values=merged)
+
+    def without(self, excluded: FrozenSet[NodeId]) -> "Aggregate":
+        """The partial with some contributors dropped (failed nodes)."""
+        return Aggregate(
+            kind=self.kind,
+            values={n: v for n, v in self.values.items() if n not in excluded},
+        )
+
+    def result(self) -> float:
+        """The aggregate's current value (NaN for an empty MIN/MAX/AVG)."""
+        if not self.values:
+            return 0.0 if self.kind in (AggregateKind.SUM, AggregateKind.COUNT) else math.nan
+        data = list(self.values.values())
+        if self.kind is AggregateKind.MIN:
+            return min(data)
+        if self.kind is AggregateKind.MAX:
+            return max(data)
+        if self.kind is AggregateKind.SUM:
+            return float(sum(data))
+        if self.kind is AggregateKind.COUNT:
+            return float(len(data))
+        return float(sum(data) / len(data))
+
+    @staticmethod
+    def single(kind: AggregateKind, node: NodeId, value: float) -> "Aggregate":
+        """The partial contributed by one node."""
+        return Aggregate(kind=kind, values={node: value})
+
+    @staticmethod
+    def empty(kind: AggregateKind) -> "Aggregate":
+        return Aggregate(kind=kind, values={})

@@ -1,0 +1,201 @@
+"""The aggregation service riding on the FDS (Section 6 message sharing).
+
+Per FDS execution:
+
+1. every node's measurement rides its R-1 heartbeat (zero extra messages);
+2. the CH folds received measurements into the cluster partial, drops
+   contributors the FDS knows failed, merges any foreign partials learned
+   since, and rides the merged partial on its R-3 update;
+3. gateways overhear the *peer* CH's update (promiscuous receiving, same
+   lens that makes them gateways) and hand the foreign partial to their
+   own CH with one :class:`AggregateShare` per boundary per execution --
+   the only messages the aggregation layer adds.
+
+Partials are idempotent under merge (per-contributor values), so the
+redundant delivery that makes the backbone loss-tolerant cannot
+double-count.  Every CH's global view converges to the field-wide
+aggregate within (cluster-graph diameter) executions; members read the
+global value from their CH's update.
+
+The anticipated accuracy benefit the paper mentions also falls out: the
+aggregate excludes exactly the nodes the FDS has detected, so a query
+never counts a dead sensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.aggregation.combiners import Aggregate, AggregateKind
+from repro.errors import ConfigurationError
+from repro.fds.messages import Heartbeat, HealthStatusUpdate
+from repro.fds.service import FdsDeployment, FdsProtocol
+from repro.sim.medium import Envelope
+from repro.sim.node import Protocol
+from repro.types import NodeId
+
+
+@dataclass(frozen=True, slots=True)
+class AggregateShare:
+    """A gateway hands an overheard foreign partial to its own CH."""
+
+    sender: NodeId
+    target_head: NodeId
+    aggregate: Aggregate
+
+
+@dataclass(frozen=True)
+class AggregationConfig:
+    """Aggregation tuning."""
+
+    kind: AggregateKind = AggregateKind.AVG
+
+
+#: A node's measurement source: called at heartbeat time.
+MeasurementFn = Callable[[NodeId, int], float]
+
+
+class AggregationService(Protocol):
+    """Per-node aggregation state, hooked into the node's FdsProtocol."""
+
+    name = "aggregation"
+
+    def __init__(
+        self,
+        config: AggregationConfig,
+        fds: FdsProtocol,
+        measure: MeasurementFn,
+    ) -> None:
+        super().__init__()
+        self.config = config
+        self.fds = fds
+        self.measure = measure
+        #: CH state: the merged view (own cluster + learned partials).
+        self.partial = Aggregate.empty(config.kind)
+        #: The last global aggregate seen (members: from the CH's update).
+        self.last_seen = Aggregate.empty(config.kind)
+        #: GW state: foreign partials to hand to the own CH, per peer head.
+        self._foreign_inbox: Dict[NodeId, Aggregate] = {}
+        self.shares_sent = 0
+        # Hook into the FDS message-sharing slots.
+        fds.heartbeat_payload_provider = self._provide_measurement
+        fds.update_payload_provider = self._provide_partial
+        fds.heartbeat_consumer = self._on_heartbeat_payload
+        fds.update_consumer = self._on_update_payload
+
+    # -- send-side hooks --------------------------------------------------
+    def _provide_measurement(self, execution: int) -> float:
+        assert self.node is not None
+        value = float(self.measure(self.node.node_id, execution))
+        # Contribute our own value locally too (heads do not hear their
+        # own heartbeats).
+        if self.fds.is_head:
+            self.partial = self.partial.merge(
+                Aggregate.single(self.config.kind, self.node.node_id, value)
+            )
+        return value
+
+    def _provide_partial(self, execution: int) -> Optional[Aggregate]:
+        if not self.fds.is_head:
+            return None
+        # Fold in anything gateways handed us, drop failed contributors.
+        for aggregate in self._foreign_inbox.values():
+            self.partial = self.partial.merge(aggregate)
+        self._foreign_inbox.clear()
+        self.partial = self.partial.without(self.fds.history.known)
+        self.last_seen = self.partial
+        return self.partial
+
+    # -- receive-side hooks ------------------------------------------------
+    def _on_heartbeat_payload(self, heartbeat: Heartbeat) -> None:
+        if not self.fds.is_head:
+            return
+        if not isinstance(heartbeat.piggyback, (int, float)):
+            return
+        self.partial = self.partial.merge(
+            Aggregate.single(
+                self.config.kind, heartbeat.sender, float(heartbeat.piggyback)
+            )
+        )
+
+    def _on_update_payload(self, update: HealthStatusUpdate) -> None:
+        assert self.node is not None
+        aggregate = update.piggyback
+        if not isinstance(aggregate, Aggregate):
+            return
+        if update.head == self.fds.head:
+            # Our own CH's merged view: the value members report.  A
+            # primary gateway also pushes it outward so partials flow in
+            # both directions across every boundary.
+            self.last_seen = aggregate
+            if self.fds.inter is not None:
+                for peer, (rank, _backups) in sorted(
+                    self.fds.inter.duties.items()
+                ):
+                    if rank == 0:
+                        self.shares_sent += 1
+                        self.node.send(
+                            AggregateShare(
+                                sender=self.node.node_id,
+                                target_head=peer,
+                                aggregate=aggregate,
+                            ),
+                            recipient=peer,
+                        )
+            return
+        # A foreign CH's partial, overheard across the boundary lens.
+        if self.fds.inter is not None and update.head in self.fds.inter.duties:
+            self._foreign_inbox[update.head] = aggregate
+            self.shares_sent += 1
+            self.node.send(
+                AggregateShare(
+                    sender=self.node.node_id,
+                    target_head=self.fds.head,
+                    aggregate=aggregate,
+                ),
+                recipient=self.fds.head,
+            )
+
+    # -- radio --------------------------------------------------------------
+    def on_receive(self, envelope: Envelope) -> None:
+        payload = envelope.payload
+        if isinstance(payload, AggregateShare):
+            assert self.node is not None
+            if payload.target_head == self.node.node_id and self.fds.is_head:
+                self._foreign_inbox[payload.sender] = (
+                    self._foreign_inbox.get(
+                        payload.sender, Aggregate.empty(self.config.kind)
+                    ).merge(payload.aggregate)
+                )
+
+    def current_value(self) -> float:
+        """The node's current view of the field-wide aggregate."""
+        return self.last_seen.result()
+
+    def contributor_count(self) -> int:
+        return len(self.last_seen.contributors)
+
+
+def attach_aggregation(
+    deployment: FdsDeployment,
+    measure: MeasurementFn,
+    config: Optional[AggregationConfig] = None,
+) -> Dict[NodeId, AggregationService]:
+    """Attach an :class:`AggregationService` to every node of an FDS.
+
+    Must be called before the deployment's executions are scheduled (the
+    hooks are read at heartbeat/update send time).
+    """
+    cfg = config if config is not None else AggregationConfig()
+    services: Dict[NodeId, AggregationService] = {}
+    for node_id, protocol in sorted(deployment.protocols.items()):
+        node = deployment.network.nodes[node_id]
+        if protocol.node is None:
+            raise ConfigurationError(
+                f"FDS protocol on node {node_id} is not attached"
+            )
+        service = AggregationService(cfg, protocol, measure)
+        node.add_protocol(service)
+        services[node_id] = service
+    return services

@@ -1,0 +1,64 @@
+"""Probabilistic analysis of the FDS (Section 5 of the paper).
+
+Each measure comes in three independent forms that the test suite
+cross-checks against each other:
+
+- the paper's **literal** formulation (double binomial sums),
+- an algebraically collapsed **closed form** (log-domain, exact far below
+  float underflow),
+- a **Monte Carlo twin** that samples placements and loss outcomes.
+
+The figure-reproduction benchmarks evaluate the closed forms over the
+paper's parameter grid (p in [0.05, 0.5], N in {50, 75, 100}, R = 100 m).
+"""
+
+from repro.analysis.ch_false_detection import (
+    p_false_detection_on_ch,
+    p_false_detection_on_ch_log10,
+)
+from repro.analysis.confidence import wilson_interval
+from repro.analysis.false_detection import (
+    p_false_detection,
+    p_false_detection_literal,
+    p_false_detection_log10,
+)
+from repro.analysis.geometry import (
+    cluster_area,
+    neighborhood_area,
+    overlap_fraction,
+    worst_case_fraction,
+)
+from repro.analysis.incompleteness import (
+    p_incompleteness,
+    p_incompleteness_literal,
+    p_incompleteness_log10,
+)
+from repro.analysis.montecarlo import (
+    mc_false_detection,
+    mc_false_detection_on_ch,
+    mc_incompleteness,
+)
+from repro.analysis.reachability import dch_reachability_failure
+from repro.analysis.sweep import MeasureSeries, sweep_measure
+
+__all__ = [
+    "cluster_area",
+    "neighborhood_area",
+    "overlap_fraction",
+    "worst_case_fraction",
+    "p_false_detection",
+    "p_false_detection_literal",
+    "p_false_detection_log10",
+    "p_false_detection_on_ch",
+    "p_false_detection_on_ch_log10",
+    "p_incompleteness",
+    "p_incompleteness_literal",
+    "p_incompleteness_log10",
+    "mc_false_detection",
+    "mc_false_detection_on_ch",
+    "mc_incompleteness",
+    "dch_reachability_failure",
+    "wilson_interval",
+    "MeasureSeries",
+    "sweep_measure",
+]

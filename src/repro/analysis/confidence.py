@@ -1,0 +1,44 @@
+"""Confidence intervals for Monte Carlo estimates."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import AnalysisError
+
+#: z-scores for common confidence levels.
+_Z = {0.90: 1.6448536269514722, 0.95: 1.959963984540054, 0.99: 2.5758293035489004}
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.99
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because Monte Carlo twins of
+    the paper's measures often see zero or near-zero success counts, where
+    Wald intervals degenerate to a width of zero.
+    """
+    if trials <= 0:
+        raise AnalysisError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise AnalysisError(
+            f"successes must be in [0, {trials}], got {successes}"
+        )
+    try:
+        z = _Z[confidence]
+    except KeyError:
+        raise AnalysisError(
+            f"confidence must be one of {sorted(_Z)}, got {confidence}"
+        ) from None
+    phat = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (phat + z2 / (2 * trials)) / denom
+    spread = (
+        z
+        * math.sqrt(phat * (1.0 - phat) / trials + z2 / (4.0 * trials * trials))
+        / denom
+    )
+    return (max(0.0, center - spread), min(1.0, center + spread))

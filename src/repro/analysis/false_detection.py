@@ -1,0 +1,144 @@
+"""P^(False detection) -- Figure 5 of the paper.
+
+The probability that the CH mistakenly judges an *operational* member ``v``
+to have failed in one FDS execution.  The conditions (Section 5.1):
+
+C1. the CH receives neither ``v``'s heartbeat (R-1) nor ``v``'s digest
+    (R-2): probability ``p**2``;
+C2. none of the digests the CH receives reflect awareness of ``v``'s
+    heartbeat.
+
+The paper's formulation (its Section 5.1 equation), for ``v`` in the worst
+case on the cluster circumference with overlap fraction ``a = An/Au``::
+
+    P^ = p^2 * sum_{k=0}^{N-2} C(N-2, k) (1 - a)^{N-2-k} a^k
+               * sum_{j=0}^{k} C(k, j) (1-p)^j p^{k-j} * p^j
+
+where ``k`` enumerates how many of the other ``N - 2`` hosts are in-cluster
+neighbors of ``v``, and ``j`` how many of those overheard ``v``'s
+heartbeat; the trailing ``p^j`` is the probability all their digests are
+lost at the CH.
+
+A neighbor *witnesses* ``v`` iff it overhears the heartbeat AND its digest
+reaches the CH -- probability ``(1-p)^2`` -- so the double sum collapses by
+the binomial theorem to the closed form::
+
+    P^ = p^2 * (1 - a * (1 - p)^2)^{N-2}
+
+Both are implemented; :func:`p_false_detection_literal` follows the paper's
+double sum term by term (in the log domain) and the test suite asserts it
+equals the closed form.
+
+Note the condition C2 subsumes per-neighbor digest-to-CH loss but not the
+neighbor's *own* placement relative to the CH: every cluster member is a
+one-hop neighbor of the CH by construction, so a sent digest reaches the CH
+unless lost -- exactly the paper's model.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.geometry import (
+    PAPER_TRANSMISSION_RANGE,
+    overlap_fraction,
+    worst_case_fraction,
+)
+from repro.errors import AnalysisError
+from repro.util.logmath import (
+    log_binomial,
+    logsumexp,
+)
+from repro.util.validation import check_int_at_least, check_probability
+
+
+def _check_inputs(n: int, p: float) -> None:
+    check_int_at_least("n", n, 2)
+    check_probability("p", p)
+
+
+def p_false_detection_log10(
+    n: int,
+    p: float,
+    distance: float | None = None,
+    radius: float = PAPER_TRANSMISSION_RANGE,
+) -> float:
+    """``log10`` of P^(False detection) -- exact far below underflow.
+
+    ``n`` is the cluster population ``N`` (CH included); ``distance`` is
+    ``v``'s distance from the CH (default: the paper's worst case ``R``).
+    """
+    _check_inputs(n, p)
+    if p == 0.0:
+        return -math.inf
+    a = (
+        worst_case_fraction()
+        if distance is None
+        else overlap_fraction(distance, radius)
+    )
+    log_p = 2.0 * math.log(p) + (n - 2) * math.log1p(-a * (1.0 - p) ** 2)
+    return log_p / math.log(10.0)
+
+
+def p_false_detection(
+    n: int,
+    p: float,
+    distance: float | None = None,
+    radius: float = PAPER_TRANSMISSION_RANGE,
+) -> float:
+    """P^(False detection), closed form (may underflow to 0.0 below 1e-308)."""
+    log10_value = p_false_detection_log10(n, p, distance, radius)
+    if log10_value == -math.inf:
+        return 0.0
+    return 10.0**log10_value
+
+
+def p_false_detection_literal(
+    n: int,
+    p: float,
+    distance: float | None = None,
+    radius: float = PAPER_TRANSMISSION_RANGE,
+) -> float:
+    """The paper's double binomial sum, evaluated term by term.
+
+    Exists to validate the closed form against the paper's own equation;
+    costs O(N^2) terms.
+    """
+    _check_inputs(n, p)
+    if p == 0.0:
+        return 0.0
+    a = (
+        worst_case_fraction()
+        if distance is None
+        else overlap_fraction(distance, radius)
+    )
+    m = n - 2
+    log_p = math.log(p)
+    log_q = math.log1p(-p) if p < 1.0 else -math.inf
+    log_a = math.log(a) if a > 0 else -math.inf
+    log_1ma = math.log1p(-a) if a < 1.0 else -math.inf
+
+    def xlog(count: int, log_value: float) -> float:
+        # count * log_value with the 0 * -inf == 0 convention (x**0 == 1).
+        return 0.0 if count == 0 else count * log_value
+
+    outer_terms = []
+    for k in range(m + 1):
+        inner_terms = []
+        for j in range(k + 1):
+            # C(k, j) (1-p)^j p^(k-j)  *  p^j
+            inner_terms.append(
+                log_binomial(k, j)
+                + xlog(j, log_q)
+                + xlog(k - j, log_p)
+                + xlog(j, log_p)
+            )
+        log_inner = logsumexp(inner_terms)
+        outer_terms.append(
+            log_binomial(m, k)
+            + xlog(m - k, log_1ma)
+            + xlog(k, log_a)
+            + log_inner
+        )
+    total = 2.0 * log_p + logsumexp(outer_terms)
+    return math.exp(total) if total > -700 else 0.0

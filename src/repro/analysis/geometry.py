@@ -1,0 +1,57 @@
+"""Section 5 geometry, in the paper's notation.
+
+- ``Au`` (:func:`cluster_area`): the total area of the cluster -- a disk of
+  radius ``R`` (the transmission range) around the CH.
+- ``An`` (:func:`neighborhood_area`): the part of the cluster within
+  member ``v``'s own transmission range when ``v`` is at distance ``d``
+  from the CH -- the lens of Figure 4.
+- ``a = An / Au`` (:func:`overlap_fraction`): the probability that a
+  uniformly placed other member is an in-cluster neighbor of ``v``.
+
+The paper evaluates its bounds at the worst case ``d = R`` (``v`` on the
+circumference, Figure 4(b)), where ``a = (2*pi/3 - sqrt(3)/2) / pi``
+(:func:`worst_case_fraction`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import AnalysisError
+from repro.util.geometry import (
+    WORST_CASE_OVERLAP_FRACTION,
+    disk_area,
+    lens_area,
+)
+from repro.util.validation import check_positive
+
+#: The paper's default transmission range (Section 5): 100 meters.
+PAPER_TRANSMISSION_RANGE = 100.0
+
+
+def cluster_area(radius: float = PAPER_TRANSMISSION_RANGE) -> float:
+    """``Au``: the area of the cluster disk."""
+    return disk_area(radius)
+
+
+def neighborhood_area(
+    distance: float, radius: float = PAPER_TRANSMISSION_RANGE
+) -> float:
+    """``An``: area of the cluster within range of a member at ``distance``."""
+    check_positive("radius", radius)
+    if not 0.0 <= distance <= radius:
+        raise AnalysisError(
+            f"a cluster member's distance from the CH must be in [0, R]; "
+            f"got {distance} with R={radius}"
+        )
+    return lens_area(radius, distance)
+
+
+def overlap_fraction(
+    distance: float, radius: float = PAPER_TRANSMISSION_RANGE
+) -> float:
+    """``a = An / Au`` for a member at ``distance`` from the CH."""
+    return neighborhood_area(distance, radius) / cluster_area(radius)
+
+
+def worst_case_fraction() -> float:
+    """``a`` at the paper's worst case ``d = R`` (~= 0.391)."""
+    return WORST_CASE_OVERLAP_FRACTION

@@ -1,0 +1,119 @@
+"""P^(Incompleteness) -- Figure 7 of the paper.
+
+The probability that a cluster member fails to receive a failure report,
+given that the CH broadcast it in fds.R-3 -- the constituent measure the
+paper says "system-wide completeness will be a function of".  The paper
+omits the formulation "due to space limitations"; we derive it from its
+described mechanism (Section 4.2, intra-cluster completeness enhancement):
+
+- the member ``v`` misses the CH's R-3 broadcast: probability ``p``;
+- ``v`` broadcasts a forwarding request at the end of R-3; *progressive*
+  peer forwarding then fails only if **no** in-cluster neighbor of ``v``
+  successfully relays the update.  A neighbor succeeds iff it
+
+  1. received the R-3 update itself           (prob ``1 - p``),
+  2. heard ``v``'s forwarding request          (prob ``1 - p``),
+  3. its forwarded copy reaches ``v``          (prob ``1 - p``),
+
+  because forwarding is progressive (unique waiting periods; the next
+  neighbor steps in if no acknowledgment is overheard), the attempts are
+  effectively independent and ``v`` stays unrecovered only if every
+  neighbor fails: per-neighbor success ``(1-p)^3``.
+
+With ``k`` of the other ``N - 2`` members being in-cluster neighbors of
+``v`` (binomial with the overlap fraction ``a``, worst case ``v`` on the
+circumference as in Figure 4(b))::
+
+    P^ = p * sum_{k=0}^{N-2} C(N-2,k) (1-a)^{N-2-k} a^k * (1 - (1-p)^3)^k
+       = p * (1 - a * (1-p)^3)^{N-2}
+
+Shape checks against Figure 7: P^ decreases sharply as ``N`` grows from 50
+to 100, and larger ``N`` makes the measure *more sensitive* to ``p`` (the
+curves steepen) -- both reproduced by this formula.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.geometry import (
+    PAPER_TRANSMISSION_RANGE,
+    overlap_fraction,
+    worst_case_fraction,
+)
+from repro.util.logmath import log_binomial, logsumexp
+from repro.util.validation import check_int_at_least, check_probability
+
+
+def p_incompleteness_log10(
+    n: int,
+    p: float,
+    distance: float | None = None,
+    radius: float = PAPER_TRANSMISSION_RANGE,
+) -> float:
+    """``log10`` of P^(Incompleteness) for a member at ``distance``.
+
+    Default distance is the paper's worst case (the circumference).
+    """
+    check_int_at_least("n", n, 2)
+    check_probability("p", p)
+    if p == 0.0:
+        return -math.inf
+    a = (
+        worst_case_fraction()
+        if distance is None
+        else overlap_fraction(distance, radius)
+    )
+    success = (1.0 - p) ** 3
+    log_p = math.log(p) + (n - 2) * math.log1p(-a * success)
+    return log_p / math.log(10.0)
+
+
+def p_incompleteness(
+    n: int,
+    p: float,
+    distance: float | None = None,
+    radius: float = PAPER_TRANSMISSION_RANGE,
+) -> float:
+    """P^(Incompleteness), closed form."""
+    log10_value = p_incompleteness_log10(n, p, distance, radius)
+    if log10_value == -math.inf:
+        return 0.0
+    return 10.0**log10_value if log10_value > -307 else 0.0
+
+
+def p_incompleteness_literal(
+    n: int,
+    p: float,
+    distance: float | None = None,
+    radius: float = PAPER_TRANSMISSION_RANGE,
+) -> float:
+    """The binomial-sum form, evaluated term by term (validation twin)."""
+    check_int_at_least("n", n, 2)
+    check_probability("p", p)
+    if p == 0.0:
+        return 0.0
+    a = (
+        worst_case_fraction()
+        if distance is None
+        else overlap_fraction(distance, radius)
+    )
+    m = n - 2
+    fail = 1.0 - (1.0 - p) ** 3
+    log_a = math.log(a) if a > 0 else -math.inf
+    log_1ma = math.log1p(-a) if a < 1.0 else -math.inf
+    log_fail = math.log(fail) if fail > 0 else -math.inf
+
+    def xlog(count: int, log_value: float) -> float:
+        # count * log_value with the 0 * -inf == 0 convention (x**0 == 1).
+        return 0.0 if count == 0 else count * log_value
+
+    terms = [
+        log_binomial(m, k)
+        + xlog(m - k, log_1ma)
+        + xlog(k, log_a)
+        + xlog(k, log_fail)
+        for k in range(m + 1)
+    ]
+    total = math.log(p) + logsumexp(terms)
+    return math.exp(total) if total > -700 else 0.0

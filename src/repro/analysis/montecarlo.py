@@ -1,0 +1,181 @@
+"""Monte Carlo twins of the Section 5 measures.
+
+Each estimator samples the same probability space the analytic formula
+integrates over -- uniform member placement in the cluster disk and iid
+Bernoulli message loss -- and counts the failure event directly.
+
+Because every measure factors into ``prefactor * P(conditional event)``
+where the prefactor is an exact power of ``p`` (the direct losses at the
+detecting authority), the estimators sample only the *conditional* event
+and multiply by the exact prefactor.  This keeps the estimators usable even
+where the full event probability is far below 1/trials: the conditional
+part (no witness / no rescuer) is many orders of magnitude larger.
+
+Each returns an :class:`McEstimate` carrying the conditional success count
+so callers can attach a Wilson interval to the conditional mean and scale
+it by the prefactor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.analysis.confidence import wilson_interval
+from repro.analysis.geometry import PAPER_TRANSMISSION_RANGE
+from repro.errors import AnalysisError
+from repro.util.validation import check_int_at_least, check_probability
+
+
+@dataclass(frozen=True)
+class McEstimate:
+    """A Monte Carlo estimate of ``prefactor * conditional_probability``."""
+
+    estimate: float
+    prefactor: float
+    conditional_successes: int
+    trials: int
+
+    @property
+    def conditional_mean(self) -> float:
+        return self.conditional_successes / self.trials
+
+    def interval(self, confidence: float = 0.99) -> Tuple[float, float]:
+        """Wilson CI on the conditional part, scaled by the prefactor."""
+        low, high = wilson_interval(
+            self.conditional_successes, self.trials, confidence
+        )
+        return (self.prefactor * low, self.prefactor * high)
+
+    def contains(self, value: float, confidence: float = 0.99) -> bool:
+        """Whether ``value`` lies inside the scaled interval."""
+        low, high = self.interval(confidence)
+        return low <= value <= high
+
+
+def _check(n: int, p: float, trials: int) -> None:
+    check_int_at_least("n", n, 2)
+    check_probability("p", p)
+    check_int_at_least("trials", trials, 1)
+
+
+def _member_positions(
+    rng: np.random.Generator, trials: int, count: int, radius: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """(trials, count) x/y arrays of uniform-in-disk member positions."""
+    r = radius * np.sqrt(rng.uniform(size=(trials, count)))
+    theta = rng.uniform(0.0, 2.0 * math.pi, size=(trials, count))
+    return r * np.cos(theta), r * np.sin(theta)
+
+
+def mc_false_detection(
+    n: int,
+    p: float,
+    trials: int,
+    rng: np.random.Generator,
+    distance: float | None = None,
+    radius: float = PAPER_TRANSMISSION_RANGE,
+) -> McEstimate:
+    """Monte Carlo P^(False detection) for a member at ``distance``.
+
+    Samples the other ``N - 2`` members, then checks that no in-cluster
+    neighbor of ``v`` both overheard the heartbeat and delivered its digest
+    to the CH; multiplies by the exact prefactor ``p**2``.
+    """
+    _check(n, p, trials)
+    d = radius if distance is None else distance
+    if not 0.0 <= d <= radius:
+        raise AnalysisError(f"distance must be in [0, R], got {d}")
+    m = n - 2
+    xs, ys = _member_positions(rng, trials, m, radius)
+    # v sits at (d, 0); CH at the origin.  Rotational symmetry makes the
+    # angular position of v irrelevant.
+    neighbor = (xs - d) ** 2 + ys**2 <= radius * radius
+    overheard = rng.uniform(size=(trials, m)) > p
+    digest_ok = rng.uniform(size=(trials, m)) > p
+    witnessed = np.any(neighbor & overheard & digest_ok, axis=1)
+    successes = int(np.count_nonzero(~witnessed))
+    prefactor = p * p
+    return McEstimate(
+        estimate=prefactor * successes / trials,
+        prefactor=prefactor,
+        conditional_successes=successes,
+        trials=trials,
+    )
+
+
+def mc_false_detection_on_ch(
+    n: int,
+    p: float,
+    trials: int,
+    rng: np.random.Generator,
+    dch_distance: float = 0.0,
+    radius: float = PAPER_TRANSMISSION_RANGE,
+) -> McEstimate:
+    """Monte Carlo P(False detection on CH).
+
+    The witness chain for each of the other ``N - 2`` members: hear the
+    CH's heartbeat (every member is in the CH's range by construction),
+    lie within the DCH's reception lens (automatic when
+    ``dch_distance == 0``), and deliver its digest to the DCH.  Prefactor:
+    ``p**3`` (CH heartbeat, CH digest, and R-3 update all lost at the DCH).
+    """
+    _check(n, p, trials)
+    if not 0.0 <= dch_distance <= radius:
+        raise AnalysisError(
+            f"dch_distance must be in [0, R], got {dch_distance}"
+        )
+    m = n - 2
+    heard_ch = rng.uniform(size=(trials, m)) > p
+    digest_ok = rng.uniform(size=(trials, m)) > p
+    if dch_distance > 0.0:
+        xs, ys = _member_positions(rng, trials, m, radius)
+        in_dch_range = (xs - dch_distance) ** 2 + ys**2 <= radius * radius
+    else:
+        in_dch_range = np.ones((trials, m), dtype=bool)
+    witnessed = np.any(heard_ch & in_dch_range & digest_ok, axis=1)
+    successes = int(np.count_nonzero(~witnessed))
+    prefactor = p**3
+    return McEstimate(
+        estimate=prefactor * successes / trials,
+        prefactor=prefactor,
+        conditional_successes=successes,
+        trials=trials,
+    )
+
+
+def mc_incompleteness(
+    n: int,
+    p: float,
+    trials: int,
+    rng: np.random.Generator,
+    distance: float | None = None,
+    radius: float = PAPER_TRANSMISSION_RANGE,
+) -> McEstimate:
+    """Monte Carlo P^(Incompleteness) for a member at ``distance``.
+
+    Conditional event: no in-cluster neighbor of ``v`` is a successful
+    progressive peer forwarder (received the update, heard the request,
+    delivered the copy).  Prefactor: ``p`` (the R-3 broadcast lost at v).
+    """
+    _check(n, p, trials)
+    d = radius if distance is None else distance
+    if not 0.0 <= d <= radius:
+        raise AnalysisError(f"distance must be in [0, R], got {d}")
+    m = n - 2
+    xs, ys = _member_positions(rng, trials, m, radius)
+    neighbor = (xs - d) ** 2 + ys**2 <= radius * radius
+    has_update = rng.uniform(size=(trials, m)) > p
+    heard_request = rng.uniform(size=(trials, m)) > p
+    forward_ok = rng.uniform(size=(trials, m)) > p
+    rescued = np.any(neighbor & has_update & heard_request & forward_ok, axis=1)
+    successes = int(np.count_nonzero(~rescued))
+    return McEstimate(
+        estimate=p * successes / trials,
+        prefactor=p,
+        conditional_successes=successes,
+        trials=trials,
+    )

@@ -1,0 +1,19 @@
+"""Runtime verification: audit recorded traces against protocol invariants."""
+
+from repro.audit.invariants import (
+    AuditFinding,
+    audit_crash_silence,
+    audit_detection_timing,
+    audit_refutation_soundness,
+    audit_round_structure,
+    run_all_audits,
+)
+
+__all__ = [
+    "AuditFinding",
+    "audit_crash_silence",
+    "audit_detection_timing",
+    "audit_refutation_soundness",
+    "audit_round_structure",
+    "run_all_audits",
+]

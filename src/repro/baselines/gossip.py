@@ -1,0 +1,159 @@
+"""Gossip-style failure detection (van Renesse, Minsky & Hayden, 1998).
+
+The paper's reference [11].  Every node keeps a table mapping each known
+node to the highest heartbeat counter it has seen for it, plus the local
+time that entry last increased.  Each gossip interval a node increments its
+own counter and transmits its table; receivers merge entry-wise maxima.  A
+node whose entry has not increased within ``fail_after`` seconds is
+declared failed.
+
+In the original wired protocol the table goes to one random peer; over a
+wireless broadcast medium the natural adaptation (and the fair one for
+comparing against the cluster FDS) is a local broadcast -- all neighbors
+hear the table.
+
+The baseline exposes the same scoring surface as the FDS (a
+:class:`~repro.fds.reports.ReportHistory` per node) so
+:func:`repro.metrics.properties.evaluate_histories` can score it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.errors import ConfigurationError
+from repro.fds.reports import ReportHistory
+from repro.sim.medium import Envelope
+from repro.sim.network import Network
+from repro.sim.node import Protocol
+from repro.types import NodeId, SimTime
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True, slots=True)
+class GossipMessage:
+    """One node's heartbeat-counter table."""
+
+    sender: NodeId
+    counters: Mapping[NodeId, int]
+
+
+@dataclass(frozen=True)
+class GossipConfig:
+    """Gossip FD tuning.
+
+    ``fail_after`` should be a small multiple of ``interval`` (the classic
+    guidance is >= 2-3 intervals times the expected dissemination latency).
+    """
+
+    interval: float = 1.0
+    fail_after: float = 5.0
+
+    def __post_init__(self) -> None:
+        check_positive("interval", self.interval)
+        check_positive("fail_after", self.fail_after)
+        if self.fail_after <= self.interval:
+            raise ConfigurationError(
+                "fail_after must exceed the gossip interval"
+            )
+
+
+class GossipFd(Protocol):
+    """Per-node gossip failure detector."""
+
+    name = "gossip-fd"
+
+    def __init__(self, config: GossipConfig, membership: frozenset[NodeId]) -> None:
+        super().__init__()
+        self.config = config
+        self.membership = membership
+        self.counters: Dict[NodeId, int] = {}
+        self.last_increase: Dict[NodeId, SimTime] = {}
+        self.history = ReportHistory()
+        self.gossips_sent = 0
+
+    def start(self, first_tick: float, until: float) -> None:
+        """Begin gossiping at ``first_tick``, rechecking until ``until``."""
+        assert self.node is not None
+        my_id = self.node.node_id
+        self.counters[my_id] = 0
+        self.last_increase = {nid: first_tick for nid in self.membership}
+
+        def tick() -> None:
+            assert self.node is not None
+            now = self.node.sim.now
+            self.counters[my_id] = self.counters.get(my_id, 0) + 1
+            self.last_increase[my_id] = now
+            self.gossips_sent += 1
+            self.node.send(
+                GossipMessage(sender=my_id, counters=dict(self.counters))
+            )
+            self._sweep_failures(now)
+            if now + self.config.interval <= until:
+                self.node.timers.after(self.config.interval, tick)
+
+        self.node.timers.after(max(0.0, first_tick - self.node.sim.now), tick)
+
+    def _sweep_failures(self, now: SimTime) -> None:
+        assert self.node is not None
+        for nid in self.membership:
+            if nid == self.node.node_id or nid in self.history:
+                continue
+            if now - self.last_increase.get(nid, now) > self.config.fail_after:
+                self.history.add(frozenset({nid}))
+                self.node.medium.tracer.record(
+                    now,
+                    "gossip.detection",
+                    node=int(self.node.node_id),
+                    target=int(nid),
+                )
+
+    def on_receive(self, envelope: Envelope) -> None:
+        assert self.node is not None
+        message = envelope.payload
+        if not isinstance(message, GossipMessage):
+            return
+        now = self.node.sim.now
+        for nid, counter in message.counters.items():
+            if counter > self.counters.get(nid, -1):
+                self.counters[nid] = counter
+                self.last_increase[nid] = now
+                if nid in self.history:
+                    self.history.refute(nid)
+
+
+@dataclass
+class GossipDeployment:
+    """A gossip FD installed across a network."""
+
+    network: Network
+    config: GossipConfig
+    protocols: Dict[NodeId, GossipFd]
+
+    def run_until(self, end: float) -> None:
+        self.network.sim.run_until(end)
+
+    def histories(self) -> Dict[NodeId, ReportHistory]:
+        return {nid: p.history for nid, p in self.protocols.items()}
+
+    def messages_sent(self) -> int:
+        return sum(p.gossips_sent for p in self.protocols.values())
+
+
+def install_gossip(
+    network: Network,
+    config: GossipConfig | None = None,
+    start_time: float = 0.0,
+    until: float = 60.0,
+) -> GossipDeployment:
+    """Attach and start a :class:`GossipFd` on every node."""
+    cfg = config if config is not None else GossipConfig()
+    membership = frozenset(network.nodes)
+    protocols: Dict[NodeId, GossipFd] = {}
+    for node_id, node in sorted(network.nodes.items()):
+        protocol = GossipFd(cfg, membership)
+        node.add_protocol(protocol)
+        protocol.start(start_time, until)
+        protocols[node_id] = protocol
+    return GossipDeployment(network=network, config=cfg, protocols=protocols)

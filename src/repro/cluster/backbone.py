@@ -1,0 +1,111 @@
+"""Cluster-level backbone graph utilities.
+
+Inter-cluster dissemination (failure reports, aggregation partials) flows
+over the *cluster adjacency graph*: heads are vertices, boundaries are
+edges.  These helpers answer the structural questions users of the
+library keep needing:
+
+- which clusters can exchange reports at all (components);
+- how many across-cluster hops news needs (distances / diameter), i.e.
+  how many FDS executions until field-wide completeness;
+- whether a field is backbone-connected before an experiment relies on it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.cluster.state import ClusterLayout
+from repro.errors import ClusteringError
+from repro.types import NodeId
+
+
+def backbone_edges(layout: ClusterLayout) -> FrozenSet[Tuple[NodeId, NodeId]]:
+    """Undirected head-to-head edges, one per boundary pair."""
+    edges: Set[Tuple[NodeId, NodeId]] = set()
+    for owner, peer in layout.boundaries:
+        edges.add((min(owner, peer), max(owner, peer)))
+    return frozenset(edges)
+
+
+def backbone_neighbors(layout: ClusterLayout) -> Dict[NodeId, Tuple[NodeId, ...]]:
+    """Head -> sorted adjacent heads over the backbone."""
+    adjacency: Dict[NodeId, Set[NodeId]] = {h: set() for h in layout.heads}
+    for a, b in backbone_edges(layout):
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    return {h: tuple(sorted(n)) for h, n in adjacency.items()}
+
+
+def backbone_components(layout: ClusterLayout) -> List[FrozenSet[NodeId]]:
+    """Connected components of heads, largest first.
+
+    Clusters in different components cannot exchange failure reports --
+    the paper defers bridging them to an inter-cluster routing protocol.
+    """
+    neighbors = backbone_neighbors(layout)
+    unvisited = set(layout.heads)
+    components: List[FrozenSet[NodeId]] = []
+    while unvisited:
+        start = min(unvisited)
+        seen = {start}
+        queue = deque([start])
+        unvisited.discard(start)
+        while queue:
+            current = queue.popleft()
+            for nxt in neighbors[current]:
+                if nxt in unvisited:
+                    unvisited.discard(nxt)
+                    seen.add(nxt)
+                    queue.append(nxt)
+        components.append(frozenset(seen))
+    components.sort(key=lambda c: (-len(c), min(c)))
+    return components
+
+
+def is_backbone_connected(layout: ClusterLayout) -> bool:
+    """Whether every cluster can reach every other over boundaries."""
+    return len(backbone_components(layout)) <= 1
+
+
+def backbone_distances(
+    layout: ClusterLayout, source: NodeId
+) -> Dict[NodeId, int]:
+    """Across-cluster hop counts from ``source``'s head (BFS).
+
+    A failure detected in the source cluster needs at least this many
+    boundary crossings to reach each other cluster -- and therefore at
+    most that many FDS executions (each crossing completes within one).
+    Unreachable heads are absent from the result.
+    """
+    if source not in layout.clusters:
+        raise ClusteringError(f"{source} is not a clusterhead")
+    neighbors = backbone_neighbors(layout)
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        current = queue.popleft()
+        for nxt in neighbors[current]:
+            if nxt not in distances:
+                distances[nxt] = distances[current] + 1
+                queue.append(nxt)
+    return distances
+
+
+def backbone_diameter(layout: ClusterLayout) -> Optional[int]:
+    """Longest shortest head-to-head path (None if disconnected).
+
+    The worst-case number of executions for field-wide completeness of a
+    single failure report.
+    """
+    heads = layout.heads
+    if not heads:
+        return None
+    worst = 0
+    for head in heads:
+        distances = backbone_distances(layout, head)
+        if len(distances) != len(heads):
+            return None
+        worst = max(worst, max(distances.values()))
+    return worst

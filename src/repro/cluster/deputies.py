@@ -1,0 +1,66 @@
+"""Deputy clusterhead (DCH) selection -- feature F2.
+
+The paper creates DCHs from the high population density so the FDS survives
+CH failures: the highest-ranked DCH applies the CH-failure detection rule
+and takes over on detection (Section 4.2).  The paper does not prescribe a
+ranking function; we rank by *coverage*, because Section 4.2's reachability
+discussion (Figure 2(a)) shows the failure mode of a DCH is being too far
+from the CH to reach all members.  Candidates closer to the CH cover more
+of the cluster disk, so:
+
+rank key = (distance to CH ascending, in-cluster degree descending, NID
+ascending) -- NID last, as the deterministic tiebreaker.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Mapping, Sequence, Tuple
+
+from repro.types import NodeId
+from repro.util.geometry import Vec2
+from repro.util.validation import check_int_at_least
+
+#: Default number of deputies per cluster.  Two gives the takeover chain a
+#: backup without meaningfully increasing R-3 traffic.
+DEFAULT_DEPUTY_COUNT = 2
+
+
+def rank_deputy_candidates(
+    head: NodeId,
+    members: FrozenSet[NodeId],
+    positions: Mapping[NodeId, Vec2],
+    in_cluster_degree: Mapping[NodeId, int],
+) -> Tuple[NodeId, ...]:
+    """All non-head members ordered by deputy fitness (best first)."""
+    head_pos = positions[head]
+
+    def key(nid: NodeId) -> Tuple[float, int, int]:
+        return (
+            positions[nid].distance_to(head_pos),
+            -in_cluster_degree.get(nid, 0),
+            int(nid),
+        )
+
+    return tuple(sorted((m for m in members if m != head), key=key))
+
+
+def select_deputies(
+    head: NodeId,
+    members: FrozenSet[NodeId],
+    positions: Mapping[NodeId, Vec2],
+    in_cluster_degree: Mapping[NodeId, int],
+    count: int = DEFAULT_DEPUTY_COUNT,
+) -> Tuple[NodeId, ...]:
+    """The top ``count`` deputy candidates (fewer if the cluster is small)."""
+    check_int_at_least("count", count, 0)
+    ranked = rank_deputy_candidates(head, members, positions, in_cluster_degree)
+    return ranked[:count]
+
+
+def takeover_order(deputies: Sequence[NodeId]) -> Tuple[NodeId, ...]:
+    """The succession chain: highest-ranked deputy first.
+
+    Exposed as its own function so the FDS and tests share one definition
+    of "the authority that makes the decision" about a CH failure.
+    """
+    return tuple(deputies)

@@ -1,0 +1,96 @@
+"""Gateway (GW) and backup gateway (BGW) selection -- features F1-F3.
+
+A gateway between clusters C and C' is a node that is a one-hop neighbor of
+*both* CHs (the paper prefers this "directly connected" kind and avoids the
+two-intermediate-node kind "because it may reduce robustness").  Feature F3
+affiliates every gateway with exactly one cluster -- here, the cluster it is
+already a member of -- so each boundary is *owned* by one side: the owner
+cluster's GW/BGWs forward reports outward across that boundary.
+
+For a boundary owned by C toward C', candidates are the members of C that
+are neighbors of C''s CH.  The primary GW is the candidate with the best
+(lowest) rank key; the next ``max_backups`` candidates become BGWs with
+ranks 1..n (a BGW of rank k waits ``k * 2*Thop`` before stepping in,
+Section 4.3).  The rank key prefers candidates deeper inside the overlap
+region -- farther from both disk edges -- because such nodes hear both CHs
+most reliably; NID breaks ties deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Mapping, Optional, Tuple
+
+from repro.cluster.state import Boundary
+from repro.types import NodeId
+from repro.util.geometry import Vec2
+from repro.util.validation import check_int_at_least
+
+#: Default cap on BGWs per boundary; the analysis in Section 5 of the paper
+#: and our ablations vary this as ``n``.
+DEFAULT_MAX_BACKUPS = 2
+
+
+def gateway_candidates(
+    owner_members: FrozenSet[NodeId],
+    owner_head: NodeId,
+    peer_head_neighbors: FrozenSet[NodeId],
+) -> Tuple[NodeId, ...]:
+    """Members of the owner cluster adjacent to the peer CH, sorted by NID."""
+    return tuple(
+        sorted(
+            m
+            for m in owner_members
+            if m != owner_head and m in peer_head_neighbors
+        )
+    )
+
+
+def rank_gateway_candidates(
+    candidates: Tuple[NodeId, ...],
+    owner_head: NodeId,
+    peer_head: NodeId,
+    positions: Mapping[NodeId, Vec2],
+) -> Tuple[NodeId, ...]:
+    """Candidates ordered by forwarding fitness (best first).
+
+    Fitness = the larger of the two CH distances, minimized: the candidate
+    whose worst link is shortest sits most centrally in the lens-shaped
+    overlap of the two cluster disks.
+    """
+    owner_pos = positions[owner_head]
+    peer_pos = positions[peer_head]
+
+    def key(nid: NodeId) -> Tuple[float, int]:
+        worst_link = max(
+            positions[nid].distance_to(owner_pos),
+            positions[nid].distance_to(peer_pos),
+        )
+        return (worst_link, int(nid))
+
+    return tuple(sorted(candidates, key=key))
+
+
+def select_boundary(
+    owner_head: NodeId,
+    peer_head: NodeId,
+    owner_members: FrozenSet[NodeId],
+    peer_head_neighbors: FrozenSet[NodeId],
+    positions: Mapping[NodeId, Vec2],
+    max_backups: int = DEFAULT_MAX_BACKUPS,
+) -> Optional[Boundary]:
+    """Build the boundary owned by ``owner_head`` toward ``peer_head``.
+
+    Returns ``None`` when no member of the owner cluster can reach the peer
+    CH directly (the clusters are not neighbors in the F1 sense).
+    """
+    check_int_at_least("max_backups", max_backups, 0)
+    candidates = gateway_candidates(owner_members, owner_head, peer_head_neighbors)
+    if not candidates:
+        return None
+    ranked = rank_gateway_candidates(candidates, owner_head, peer_head, positions)
+    return Boundary(
+        owner=owner_head,
+        peer=peer_head,
+        gateway=ranked[0],
+        backups=ranked[1 : 1 + max_backups],
+    )

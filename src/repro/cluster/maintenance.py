@@ -1,0 +1,55 @@
+"""Open-ended cluster maintenance -- features F4/F5.
+
+The formation algorithm "intentionally leaves an open end": it never stops
+iterating, and after the first iteration its first round *merges* with the
+FDS heartbeat round.  Concretely, at every FDS epoch both marked and
+unmarked nodes transmit heartbeats, and the heartbeat's one-bit mark
+indicator is interpreted three ways (Section 3, F5):
+
+- marked sender, known member  -> FDS liveness evidence (normal case);
+- unmarked sender heard by a CH -> a *membership subscription*: the CH
+  admits the node and announces the new membership in its next R-3 update;
+- unmarked sender outside all clusters -> drives new cluster formation
+  (handled by re-running formation iterations, not by the FDS).
+
+:class:`AdmissionBook` is the CH-side bookkeeping for the second case; the
+FDS service consults it each execution.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.types import NodeId
+
+
+class AdmissionBook:
+    """CH-side tracking of unmarked heartbeats awaiting admission.
+
+    A node is admitted after its unmarked heartbeat is heard by the CH.
+    Admission is applied at the next R-3 update so that the whole cluster
+    learns the new membership atomically with the health status.
+    """
+
+    def __init__(self) -> None:
+        self._pending: Set[NodeId] = set()
+        self.admitted_total = 0
+
+    def note_unmarked_heartbeat(self, sender: NodeId) -> None:
+        """Record a subscription request (idempotent within an epoch)."""
+        self._pending.add(sender)
+
+    def drain(self, current_members: FrozenSet[NodeId]) -> FrozenSet[NodeId]:
+        """Admissions to announce now; clears the pending set.
+
+        Nodes already in the membership are dropped (their subscription
+        raced with an earlier admission).
+        """
+        admissions = frozenset(self._pending - current_members)
+        self._pending.clear()
+        self.admitted_total += len(admissions)
+        return admissions
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)

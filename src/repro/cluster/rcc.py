@@ -1,0 +1,44 @@
+"""Random-competition-based declaration backoff (RCC).
+
+Message loss during cluster formation can yield concurrent, conflicting CH
+declarations; the paper (footnote 1) points to the RCC scheme of Xu/Gerla
+for resolution.  Two pieces are implemented here:
+
+- :func:`declaration_backoff` -- a small random delay before a qualified
+  node broadcasts its CH declaration, so that among several simultaneous
+  qualifiers the first declaration usually suppresses the rest within the
+  same round.
+- :func:`should_resign` -- the steady-state repair: a clusterhead that
+  hears a *lower-NID* clusterhead within one hop resigns (lowest-ID wins),
+  dissolving loss-induced adjacent-head conflicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import NodeId
+from repro.util.validation import check_positive
+
+
+def declaration_backoff(
+    rng: np.random.Generator, round_duration: float, fraction: float = 0.4
+) -> float:
+    """A uniform random delay in ``[0, fraction * round_duration)``.
+
+    Kept well under the round duration so a backed-off declaration still
+    lands, and is heard, within its round.
+    """
+    check_positive("round_duration", round_duration)
+    if not 0.0 < fraction <= 0.9:
+        raise ValueError(f"fraction must be in (0, 0.9], got {fraction}")
+    return float(rng.uniform(0.0, fraction * round_duration))
+
+
+def should_resign(my_id: NodeId, heard_head_id: NodeId) -> bool:
+    """Whether a CH that hears another in-range CH must step down.
+
+    The lowest NID keeps the cluster (the same total order the declaration
+    policy uses), so exactly one of two conflicting heads resigns.
+    """
+    return heard_head_id < my_id

@@ -1,0 +1,90 @@
+"""Periodic cluster re-formation for mobile fields (extension hook).
+
+The paper keeps hosts stationary "for simplicity" but notes that "as sound
+clustering algorithms will support cluster and routing stability in mobile
+ad hoc wireless settings, our failure detection framework can be extended
+accordingly to accommodate host migration."  This module provides that
+extension for slow mobility: a :class:`ReclusteringPolicy` that, between
+FDS executions, rebuilds the cluster layout from current positions and
+re-installs fresh local views on every live protocol.
+
+This is the *oracle* variant (positions read from the medium), suitable
+for studying how much mobility the FDS tolerates between re-formations;
+a fully distributed variant would re-run
+:class:`~repro.cluster.formation.FormationProtocol` iterations instead
+(the F4 open end exists precisely for that).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.cluster.geometric import build_clusters
+from repro.cluster.state import ClusterLayout
+from repro.errors import ConfigurationError
+from repro.fds.intercluster import InterclusterForwarder
+from repro.fds.service import FdsDeployment
+from repro.topology.graph import UnitDiskGraph
+from repro.types import NodeId
+
+
+class ReclusteringPolicy:
+    """Rebuilds the layout from live positions and refreshes the FDS."""
+
+    def __init__(self, deployment: FdsDeployment) -> None:
+        self.deployment = deployment
+        self.reclusterings = 0
+
+    def recluster_now(self) -> ClusterLayout:
+        """Rebuild from current positions; refresh every live protocol.
+
+        Failure knowledge (each node's :class:`ReportHistory`) is
+        preserved -- re-formation changes *structure*, not what the nodes
+        learned.  Crashed nodes are left out of the new layout entirely.
+        """
+        network = self.deployment.network
+        positions = {
+            nid: network.medium.position_of(nid)
+            for nid in network.operational_ids()
+        }
+        if not positions:
+            raise ConfigurationError("no operational nodes left to cluster")
+        graph = UnitDiskGraph(
+            positions, radius=network.medium.transmission_range
+        )
+        layout = build_clusters(graph)
+        for node_id in positions:
+            protocol = self.deployment.protocols[node_id]
+            view = layout.local_view(node_id)
+            protocol.head = view.head
+            protocol.members = set(view.members)
+            protocol.deputies = list(view.deputies)
+            protocol.marked = view.role.is_marked
+            protocol._ever_members |= set(view.members)
+            if protocol.inter is not None:
+                protocol.inter.reset()
+                protocol.inter.duties = dict(view.gateway_duties)
+                protocol.inter.head_boundaries = dict(view.head_boundaries)
+        self.deployment.layout = layout
+        self.reclusterings += 1
+        return layout
+
+    def run_with_reclustering(
+        self, executions: int, recluster_every: int
+    ) -> None:
+        """Run ``executions`` total, re-forming every ``recluster_every``.
+
+        Mobility models installed on the engine move nodes during the
+        heartbeat gaps; each re-formation snapshots the new geometry.
+        """
+        if recluster_every < 1:
+            raise ConfigurationError(
+                f"recluster_every must be >= 1, got {recluster_every}"
+            )
+        remaining = executions
+        while remaining > 0:
+            batch = min(recluster_every, remaining)
+            self.deployment.run_executions(batch)
+            remaining -= batch
+            if remaining > 0:
+                self.recluster_now()

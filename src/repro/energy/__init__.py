@@ -1,0 +1,6 @@
+"""Energy accounting and energy-balanced forwarding policy (Section 4.2)."""
+
+from repro.energy.model import EnergyConfig, EnergyModel, NodeEnergy
+from repro.energy.policy import WaitingPeriodPolicy
+
+__all__ = ["EnergyConfig", "EnergyModel", "NodeEnergy", "WaitingPeriodPolicy"]

@@ -1,0 +1,53 @@
+"""The energy-balanced waiting-period policy for peer forwarding.
+
+Section 4.2: when a node broadcasts a forwarding request, each in-cluster
+neighbor "will set a waiting period for the requested forwarding.  The
+waiting period could be a function of the node's NID (which is globally
+unique in the network) and be inversely proportional to the node's
+remaining energy, which would allow each of v's neighbors to have a unique
+waiting period and would balance energy."
+
+Our concrete instantiation::
+
+    wait(nid, e) = slot * (1 + (nid mod M)) / max(e, e_floor)
+
+- the NID term gives every neighbor a distinct base slot (NIDs are unique,
+  and ``M`` is chosen larger than any plausible cluster population so the
+  modulus preserves distinctness within a cluster);
+- dividing by the remaining-energy fraction ``e`` pushes low-energy nodes
+  later, so high-energy nodes win the race and pay the forwarding cost;
+- ``e_floor`` bounds the delay for nearly drained nodes.
+"""
+
+from __future__ import annotations
+
+from repro.types import NodeId
+from repro.util.validation import check_positive, check_probability
+
+
+class WaitingPeriodPolicy:
+    """Computes unique, energy-aware waiting periods."""
+
+    def __init__(
+        self,
+        slot: float = 0.005,
+        modulus: int = 4096,
+        energy_floor: float = 0.05,
+    ) -> None:
+        self.slot = check_positive("slot", slot)
+        if modulus < 2:
+            raise ValueError(f"modulus must be >= 2, got {modulus}")
+        self.modulus = int(modulus)
+        self.energy_floor = check_probability("energy_floor", energy_floor)
+        if self.energy_floor == 0.0:
+            raise ValueError("energy_floor must be > 0")
+
+    def waiting_period(self, node_id: NodeId, energy_fraction: float) -> float:
+        """The delay before this node answers a forwarding request."""
+        check_probability("energy_fraction", energy_fraction)
+        base = self.slot * (1 + (int(node_id) % self.modulus))
+        return base / max(energy_fraction, self.energy_floor)
+
+    def max_period(self) -> float:
+        """Upper bound of any waiting period (for window sizing)."""
+        return self.slot * self.modulus / self.energy_floor

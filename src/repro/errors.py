@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can catch library failures with one handler without swallowing
+unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object or parameter is invalid."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or otherwise illegally."""
+
+
+class MediumError(SimulationError):
+    """A radio-medium operation was invalid (unknown node, bad range...)."""
+
+
+class NodeStateError(SimulationError):
+    """An operation was attempted on a node in an incompatible state."""
+
+
+class TopologyError(ReproError):
+    """A topology/placement request cannot be satisfied."""
+
+
+class ClusteringError(ReproError):
+    """Cluster formation failed or produced an inconsistent structure."""
+
+
+class ProtocolError(ReproError):
+    """An FDS protocol invariant was violated at runtime."""
+
+
+class AnalysisError(ReproError):
+    """A probabilistic-analysis computation received invalid inputs."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness run was misconfigured or failed."""

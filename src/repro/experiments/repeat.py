@@ -1,0 +1,69 @@
+"""Multi-seed repetition of scenarios with aggregate statistics.
+
+One seeded run can get lucky; credible protocol claims need replication.
+:func:`repeat_scenario` runs the same scenario under independent seeds and
+aggregates each summary metric with mean/min/max and the standard error,
+so benches and reports can state e.g. "completeness 1.0 across 20 seeds"
+instead of "completeness 1.0 once".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.metrics.summary import SeriesSummary, summarize
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True)
+class RepeatedResult:
+    """Aggregated summaries over the repeated runs."""
+
+    config: ScenarioConfig
+    seeds: Tuple[int, ...]
+    metrics: Dict[str, SeriesSummary]
+
+    def mean(self, key: str) -> float:
+        try:
+            return self.metrics[key].mean
+        except KeyError:
+            raise ExperimentError(f"no metric {key!r} collected") from None
+
+    def worst(self, key: str, lower_is_worse: bool = True) -> float:
+        summary = self.metrics[key]
+        return summary.minimum if lower_is_worse else summary.maximum
+
+    def as_table(self) -> str:
+        rows = [
+            [key, s.mean, s.stderr, s.minimum, s.maximum]
+            for key, s in sorted(self.metrics.items())
+        ]
+        return render_table(
+            ["metric", "mean", "stderr", "min", "max"],
+            rows,
+            title=f"{len(self.seeds)} seeds",
+        )
+
+
+def repeat_scenario(
+    config: ScenarioConfig,
+    seeds: Sequence[int],
+) -> RepeatedResult:
+    """Run ``config`` once per seed; aggregate the scalar summaries."""
+    if not seeds:
+        raise ExperimentError("seeds must be non-empty")
+    if len(set(seeds)) != len(seeds):
+        raise ExperimentError("seeds must be distinct")
+    collected: Dict[str, List[float]] = {}
+    for seed in seeds:
+        result = run_scenario(replace(config, seed=int(seed)))
+        for key, value in result.summary().items():
+            collected.setdefault(key, []).append(float(value))
+    return RepeatedResult(
+        config=config,
+        seeds=tuple(int(s) for s in seeds),
+        metrics={key: summarize(values) for key, values in collected.items()},
+    )

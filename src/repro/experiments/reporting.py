@@ -1,0 +1,35 @@
+"""Rendering experiment outputs as text tables."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.experiments.ablations import AblationResult
+from repro.experiments.figures import Claim, check_paper_claims
+from repro.util.tables import render_table
+
+
+def render_ablation(result: AblationResult) -> str:
+    """One ablation as a table: rows are configurations."""
+    keys: list[str] = []
+    for row in result.rows:
+        for key in row.metrics:
+            if key not in keys:
+                keys.append(key)
+    headers = ["configuration", *keys]
+    rows = [
+        [row.label, *(row.metrics.get(k, float("nan")) for k in keys)]
+        for row in result.rows
+    ]
+    return render_table(headers, rows, title=f"ablation: {result.name}")
+
+
+def render_claims(results: Iterable[tuple[Claim, bool]] | None = None) -> str:
+    """The paper-claims checklist as a table."""
+    checked = list(results) if results is not None else check_paper_claims()
+    rows = [
+        [claim.claim_id, claim.statement, "PASS" if ok else "FAIL"]
+        for claim, ok in checked
+    ]
+    return render_table(["claim", "statement", "status"], rows,
+                        title="paper evaluation claims")

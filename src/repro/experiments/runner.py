@@ -1,0 +1,167 @@
+"""Generic end-to-end scenario runner.
+
+One call builds the field, forms clusters (oracle by default, or the
+distributed protocol), installs the FDS, injects the faultload, runs the
+requested executions, and scores the result -- the shared engine behind
+the examples, the ablations, and the scenario benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.formation import FormationConfig, run_formation
+from repro.cluster.geometric import build_clusters
+from repro.cluster.state import ClusterLayout
+from repro.energy.model import EnergyConfig, EnergyModel
+from repro.errors import ExperimentError
+from repro.failure.faultload import Faultload, make_random_crashes
+from repro.failure.injection import FailureInjector
+from repro.fds.config import FdsConfig
+from repro.fds.service import FdsDeployment, install_fds
+from repro.metrics.collectors import MessageCounts, collect_message_counts
+from repro.metrics.properties import (
+    PropertyReport,
+    detection_latency,
+    evaluate_properties,
+)
+from repro.sim.network import Network, NetworkConfig, build_network
+from repro.sim.trace import RecordingTracer
+from repro.topology.generators import multi_cluster_field
+from repro.topology.graph import UnitDiskGraph
+from repro.types import NodeId, SimTime
+from repro.util.rng import RngFactory
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """A complete end-to-end scenario description."""
+
+    cluster_count: int = 4
+    members_per_cluster: int = 30
+    transmission_range: float = 100.0
+    loss_probability: float = 0.1
+    crash_count: int = 2
+    executions: int = 5
+    seed: int = 0
+    fds: FdsConfig = field(default_factory=FdsConfig)
+    #: ``"oracle"`` builds clusters geometrically; ``"protocol"`` runs the
+    #: distributed formation over the lossy medium first.
+    formation: str = "oracle"
+    track_energy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.formation not in ("oracle", "protocol"):
+            raise ExperimentError(
+                f"formation must be 'oracle' or 'protocol', got "
+                f"{self.formation!r}"
+            )
+        if self.crash_count < 0:
+            raise ExperimentError("crash_count must be >= 0")
+        if self.executions < 1:
+            raise ExperimentError("executions must be >= 1")
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario run produced."""
+
+    config: ScenarioConfig
+    network: Network
+    layout: ClusterLayout
+    deployment: FdsDeployment
+    faultload: Faultload
+    properties: PropertyReport
+    messages: MessageCounts
+    tracer: RecordingTracer
+    crash_times: Dict[NodeId, SimTime]
+
+    @property
+    def detection_latencies(self) -> Dict[NodeId, Optional[SimTime]]:
+        return detection_latency(self.tracer, self.crash_times)
+
+    def summary(self) -> Dict[str, float]:
+        latencies = [v for v in self.detection_latencies.values() if v is not None]
+        return {
+            "nodes": float(len(self.network)),
+            "clusters": float(len(self.layout.clusters)),
+            "crashes": float(len(self.faultload)),
+            "mean_completeness": self.properties.mean_completeness,
+            "accuracy_violations": float(
+                len(self.properties.accuracy_violations)
+            ),
+            "transmissions": float(self.messages.transmissions),
+            "observed_loss_rate": self.messages.loss_rate,
+            "mean_detection_latency": (
+                float(sum(latencies) / len(latencies)) if latencies else 0.0
+            ),
+        }
+
+
+def run_scenario(config: ScenarioConfig) -> ScenarioResult:
+    """Build, run, and score one end-to-end scenario."""
+    rngs = RngFactory(config.seed)
+    positions = multi_cluster_field(
+        cluster_count=config.cluster_count,
+        members_per_cluster=config.members_per_cluster,
+        radius=config.transmission_range,
+        rng=rngs.stream("placement"),
+    )
+    tracer = RecordingTracer()
+    network = build_network(
+        positions,
+        NetworkConfig(
+            transmission_range=config.transmission_range,
+            loss_probability=config.loss_probability,
+            seed=config.seed,
+        ),
+        tracer=tracer,
+    )
+
+    if config.formation == "oracle":
+        graph = UnitDiskGraph(positions, radius=config.transmission_range)
+        layout = build_clusters(graph)
+        fds_start = 0.0
+    else:
+        formation_config = FormationConfig(thop=config.fds.thop)
+        layout = run_formation(network, formation_config)
+        fds_start = network.sim.now + config.fds.thop
+
+    energy = EnergyModel(EnergyConfig()) if config.track_energy else None
+    deployment = install_fds(
+        network, layout, config.fds, energy=energy, start_time=fds_start
+    )
+
+    injector = FailureInjector(network, config.fds, fds_start=fds_start)
+    candidates: Tuple[NodeId, ...] = tuple(
+        nid for nid in network.operational_ids() if nid not in layout.heads
+    )
+    last_exec = max(1, config.executions - 2)
+    faultload = make_random_crashes(
+        candidates,
+        config.crash_count,
+        config.fds,
+        rngs.stream("faultload"),
+        fds_start=fds_start,
+        first_execution=1,
+        last_execution=last_exec,
+    )
+    faultload.inject(injector)
+    crash_times = {e.node_id: e.time for e in faultload.events}
+
+    deployment.run_executions(config.executions)
+
+    return ScenarioResult(
+        config=config,
+        network=network,
+        layout=layout,
+        deployment=deployment,
+        faultload=faultload,
+        properties=evaluate_properties(deployment),
+        messages=collect_message_counts(deployment),
+        tracer=tracer,
+        crash_times=crash_times,
+    )

@@ -1,0 +1,6 @@
+"""Failure injection: crash schedules and fault loads."""
+
+from repro.failure.faultload import Faultload, make_random_crashes
+from repro.failure.injection import CrashEvent, FailureInjector
+
+__all__ = ["CrashEvent", "FailureInjector", "Faultload", "make_random_crashes"]

@@ -1,0 +1,130 @@
+"""FDS configuration.
+
+Timing follows Section 4.2: each of the three rounds has a fixed duration
+``thop`` (the paper's ``Thop``, the assumed per-hop delivery bound), and an
+FDS execution starts at the epoch of each heartbeat interval ``phi`` (the
+paper's heartbeat interval).  The execution occupies a small fraction of
+``phi`` -- the paper's assumption that nodes do not crash *during* an
+execution is honored by the failure injector, which schedules crashes at
+mid-interval points.
+
+Every redundancy mechanism of the paper can be toggled off independently,
+which is what the ablation benchmarks sweep:
+
+- ``use_digests``       -- round R-2 and the digest clauses of both rules;
+- ``peer_forwarding``   -- the intra-cluster completeness enhancement;
+- ``intercluster_forwarding`` / ``max_backups-style`` BGW standby;
+- ``implicit_ack``      -- overheard-forwarding acknowledgments (off means
+  forward-and-hope, no retransmission);
+- ``admit_unmarked``    -- feature F5 membership subscriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.util.validation import (
+    check_int_at_least,
+    check_positive,
+)
+
+
+@dataclass(frozen=True)
+class FdsConfig:
+    """Protocol timing and mechanism toggles."""
+
+    #: Heartbeat interval (seconds between FDS execution epochs).
+    phi: float = 30.0
+    #: Round duration / per-hop delivery bound (seconds).
+    thop: float = 0.5
+    #: Length of the peer-forwarding recovery window after R-3 ends,
+    #: expressed in multiples of ``thop``.
+    recovery_rounds: float = 2.0
+    #: Maximum retransmissions a GW/CH attempts per report per boundary.
+    max_forward_retries: int = 2
+
+    use_digests: bool = True
+    peer_forwarding: bool = True
+    intercluster_forwarding: bool = True
+    implicit_ack: bool = True
+    admit_unmarked: bool = True
+    #: Include previously known failures in outgoing failure reports
+    #: (Section 4.3's completeness repair for clusters that missed earlier
+    #: reports).
+    include_history: bool = True
+    #: DCH monitoring and takeover (feature F2).  Disabling models a plain
+    #: clustering with no deputies.
+    dch_enabled: bool = True
+    #: Number of deputies the CH maintains when re-ranking.
+    deputy_count: int = 2
+    #: Honor sleep announcements (Section 6 power management): absences a
+    #: node announced before sleeping are excused by the detection rules.
+    #: Disabling models a naive FDS under sleep/wakeup, which false-detects
+    #: every sleeping member.
+    sleep_aware: bool = True
+    #: Re-rank deputies by observed digest coverage and announce the
+    #: ranking in R-3 updates.  The best-witnessed members are the ones a
+    #: takeover can rely on to reach the whole cluster (the reachability
+    #: concern of Section 4.2 / Figure 2); disabling keeps the installed
+    #: (formation-time) deputy ranking forever.
+    rerank_deputies: bool = True
+
+    # Peer-forwarding waiting-period policy knobs (see
+    # :class:`repro.energy.policy.WaitingPeriodPolicy`).
+    wait_slot: float = 0.03
+    wait_modulus: int = 128
+    energy_floor: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_positive("phi", self.phi)
+        check_positive("thop", self.thop)
+        check_positive("recovery_rounds", self.recovery_rounds)
+        check_int_at_least("max_forward_retries", self.max_forward_retries, 0)
+        check_positive("wait_slot", self.wait_slot)
+        check_int_at_least("wait_modulus", self.wait_modulus, 2)
+        check_int_at_least("deputy_count", self.deputy_count, 0)
+        if not 0.0 < self.energy_floor <= 1.0:
+            raise ConfigurationError(
+                f"energy_floor must be in (0, 1], got {self.energy_floor}"
+            )
+        # The whole execution (3 rounds + recovery + worst-case BGW standby
+        # chatter) must fit comfortably inside one heartbeat interval.
+        if self.phi < self.execution_duration():
+            raise ConfigurationError(
+                f"phi={self.phi} is shorter than one FDS execution "
+                f"({self.execution_duration()}); increase phi or shrink thop"
+            )
+
+    # -- derived timing -------------------------------------------------
+    def round_start(self, epoch: float, round_index: int) -> float:
+        """Absolute start time of round ``round_index`` (0-based) at ``epoch``."""
+        return epoch + round_index * self.thop
+
+    def execution_duration(self) -> float:
+        """Duration of R-1..R-3 plus the recovery window."""
+        return (3.0 + self.recovery_rounds) * self.thop
+
+    @property
+    def r3_end_offset(self) -> float:
+        """Offset from the epoch to the end of R-3 (the report timeout)."""
+        return 3.0 * self.thop
+
+    @property
+    def implicit_ack_window(self) -> float:
+        """The sender-side retransmission timeout (``2 * Thop``, Fig. 3)."""
+        return 2.0 * self.thop
+
+    def bgw_standby(self, rank: int) -> float:
+        """Standby delay of BGW rank ``k`` before self-forwarding."""
+        if rank < 1:
+            raise ConfigurationError(f"BGW rank must be >= 1, got {rank}")
+        return rank * self.implicit_ack_window
+
+    def post_forward_wait(self, backup_count: int) -> float:
+        """The ``(n + 1) * 2 * Thop`` wait after forwarding (Section 4.3)."""
+        if backup_count < 0:
+            raise ConfigurationError(
+                f"backup_count must be >= 0, got {backup_count}"
+            )
+        return (backup_count + 1) * self.implicit_ack_window

@@ -1,0 +1,98 @@
+"""The paper's two detection rules, as pure functions.
+
+Keeping the rules free of protocol plumbing makes the paper's soundness
+argument directly testable:
+
+- *Failure detection rule* (Section 4.2): a node v is determined to have
+  failed iff (1) the CH receives neither v's heartbeat in fds.R-1 nor the
+  digest from v in fds.R-2, AND (2) none of the digests the CH receives
+  reflect a member's awareness of the heartbeat of v.
+
+- *CH-failure detection rule*: the (highest-ranked) DCH judges the CH
+  failed iff (1) the DCH receives neither the CH's heartbeat in fds.R-1
+  nor the CH's digest in fds.R-2, (2) none of the digests the DCH receives
+  reflect awareness of the CH's heartbeat, AND (3) the DCH does not
+  receive the health status update from the CH in fds.R-3.
+
+Under the fail-stop model with no message creation/alteration, a *crashed*
+node can produce none of the three kinds of evidence, so the rules never
+miss a real failure ("the above rule is sufficient to guarantee that no
+failed cluster members will go undetected") -- the property-based tests
+state this as an invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import AbstractSet, FrozenSet, Mapping
+
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class DetectionInputs:
+    """Everything a detecting authority observed during one execution.
+
+    ``heartbeats`` -- senders whose R-1 heartbeats were received/overheard;
+    ``digests`` -- digest sender -> the set of NIDs that digest listed;
+    ``update_received_from`` -- the head whose R-3 update arrived (if any),
+    used only by the CH-failure rule.
+    """
+
+    heartbeats: FrozenSet[NodeId]
+    digests: Mapping[NodeId, FrozenSet[NodeId]]
+    update_received_from: NodeId | None = None
+
+    def evidence_of(self, target: NodeId, use_digests: bool = True) -> bool:
+        """Whether any evidence of ``target``'s liveness was observed.
+
+        Evidence = a direct heartbeat, a digest *from* the target, or
+        (when ``use_digests``) any received digest listing the target.
+        """
+        if target in self.heartbeats:
+            return True
+        if target in self.digests:
+            return True
+        if use_digests and any(
+            target in heard for heard in self.digests.values()
+        ):
+            return True
+        return False
+
+
+def apply_failure_rule(
+    expected_members: AbstractSet[NodeId],
+    inputs: DetectionInputs,
+    use_digests: bool = True,
+) -> FrozenSet[NodeId]:
+    """The CH's failure detection rule over its expected members.
+
+    ``expected_members`` are the cluster members the CH still believes
+    operational (already-known failures are excluded by the caller).
+    Returns the newly detected failed set.  With ``use_digests=False`` the
+    digest clauses are disabled (the R-2 ablation), reducing the rule to a
+    plain heartbeat timeout.
+    """
+    return frozenset(
+        v
+        for v in expected_members
+        if not inputs.evidence_of(v, use_digests=use_digests)
+    )
+
+
+def apply_ch_failure_rule(
+    ch: NodeId,
+    inputs: DetectionInputs,
+    use_digests: bool = True,
+) -> bool:
+    """The DCH's CH-failure detection rule.
+
+    True iff all three conditions hold: no CH heartbeat, no CH digest, no
+    digest witnessing the CH (condition folded into ``evidence_of``), and
+    no R-3 health status update received from the CH.
+    """
+    if inputs.evidence_of(ch, use_digests=use_digests):
+        return False
+    if inputs.update_received_from == ch:
+        return False
+    return True

@@ -1,0 +1,48 @@
+"""Trace event kinds emitted by the FDS.
+
+Centralizing the kind strings keeps the protocol, the metrics layer, and
+the tests agreeing on spelling.  All FDS records use the ``fds.`` prefix so
+``RecordingTracer.filter("fds")`` captures the protocol's whole activity.
+"""
+
+from __future__ import annotations
+
+#: A detecting authority (CH or DCH) concluded a node failed.
+#: detail: target, detector, execution.
+DETECTION = "fds.detection"
+
+#: A DCH concluded the CH failed and assumed its duties.
+#: detail: old_head, new_head, execution.
+TAKEOVER = "fds.takeover"
+
+#: A node received direct evidence (heartbeat/digest/update) from a node
+#: it had marked failed, and unmarked it.  detail: target.
+REFUTATION = "fds.refutation"
+
+#: An ex-DCH heard the old CH alive and reverted its takeover.
+#: detail: old_head, new_head.
+TAKEOVER_REVERTED = "fds.takeover_reverted"
+
+#: A member missed the R-3 update and requested peer forwarding.
+#: detail: execution.
+PEER_REQUEST = "fds.peer_request"
+
+#: A requester recovered the update via peer forwarding.
+#: detail: execution, from_node.
+PEER_RECOVERY = "fds.peer_recovery"
+
+#: A CH relayed a remote failure report into its cluster (which doubles as
+#: the implicit acknowledgment).  detail: failures, origin.
+RELAY = "fds.relay"
+
+#: A forwarder transmitted a failure report across a boundary.
+#: detail: peer, failures, rank.
+REPORT_FORWARDED = "fds.report_forwarded"
+
+#: A CH admitted unmarked nodes as new members (feature F5).
+#: detail: admissions, execution.
+ADMISSION = "fds.admission"
+
+#: A node finished merging an R-3 update into its state.
+#: detail: execution, via_peer (bool).
+UPDATE_APPLIED = "fds.update_applied"

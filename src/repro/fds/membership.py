@@ -1,0 +1,111 @@
+"""Cluster membership views on top of the FDS (Section 2.4).
+
+The paper intends the FDS "to support group membership management" while
+deferring subscription/unsubscription mechanics.  This module supplies the
+view abstraction downstream applications consume:
+
+- a :class:`MembershipView` is an immutable snapshot -- a monotonically
+  increasing view number plus the member set the authority vouched for;
+- a :class:`ViewTracker` folds a node's stream of health-status updates
+  into successive views: the view advances whenever the membership
+  actually changes (failures detected, refutations repairing them,
+  admissions via F5, takeovers);
+- trackers on different nodes of the same cluster converge to identical
+  member sets once updates quiesce (tested), so an application can hang
+  view-synchronous behaviour off them.
+
+The tracker is deliberately passive: it never transmits.  All information
+arrives through the updates the FDS already delivers (message sharing
+again), so membership costs nothing extra on the radio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional
+
+from repro.fds.messages import HealthStatusUpdate
+from repro.fds.service import FdsProtocol
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class MembershipView:
+    """One installed view of a cluster's membership."""
+
+    view_id: int
+    head: NodeId
+    members: FrozenSet[NodeId]
+    #: Execution index of the update that installed this view.
+    installed_at: int
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self.members
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+class ViewTracker:
+    """Folds one node's FDS update stream into membership views."""
+
+    def __init__(self, protocol: FdsProtocol) -> None:
+        self.protocol = protocol
+        self._views: List[MembershipView] = []
+        self._last_members: Optional[FrozenSet[NodeId]] = None
+        # Chain onto any existing consumer so trackers stack with e.g.
+        # the aggregation service.
+        self._downstream = protocol.update_consumer
+        protocol.update_consumer = self._consume
+        # Also observe updates with no piggyback: the FDS only calls the
+        # consumer for piggybacked updates, so hook the apply path too.
+        self._original_apply = protocol._apply_update
+        protocol._apply_update = self._apply_and_track  # type: ignore[method-assign]
+
+    # ------------------------------------------------------------------
+    def _consume(self, update: HealthStatusUpdate) -> None:
+        if self._downstream is not None:
+            self._downstream(update)
+
+    def _apply_and_track(self, update: HealthStatusUpdate, via_peer: bool) -> None:
+        self._original_apply(update, via_peer=via_peer)
+        if update.relay:
+            return
+        self._maybe_install(update)
+
+    def _maybe_install(self, update: HealthStatusUpdate) -> None:
+        members = frozenset(self.protocol.members)
+        if members == self._last_members:
+            return
+        self._last_members = members
+        self._views.append(
+            MembershipView(
+                view_id=len(self._views) + 1,
+                head=self.protocol.head,
+                members=members,
+                installed_at=update.execution,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Optional[MembershipView]:
+        """The latest installed view (None before the first update)."""
+        return self._views[-1] if self._views else None
+
+    @property
+    def history(self) -> List[MembershipView]:
+        """All installed views, oldest first."""
+        return list(self._views)
+
+    def view_count(self) -> int:
+        return len(self._views)
+
+
+def attach_view_trackers(deployment) -> dict[NodeId, ViewTracker]:
+    """A :class:`ViewTracker` on every node of an FDS deployment."""
+    return {
+        node_id: ViewTracker(protocol)
+        for node_id, protocol in sorted(deployment.protocols.items())
+    }

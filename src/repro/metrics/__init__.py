@@ -1,0 +1,23 @@
+"""Metrics: ground-truth scoring of FDS runs."""
+
+from repro.metrics.collectors import MessageCounts, collect_message_counts
+from repro.metrics.properties import (
+    PropertyReport,
+    accuracy_violations,
+    completeness_of,
+    detection_latency,
+    evaluate_properties,
+)
+from repro.metrics.summary import SeriesSummary, summarize
+
+__all__ = [
+    "MessageCounts",
+    "collect_message_counts",
+    "PropertyReport",
+    "accuracy_violations",
+    "completeness_of",
+    "detection_latency",
+    "evaluate_properties",
+    "SeriesSummary",
+    "summarize",
+]

@@ -1,0 +1,167 @@
+"""Completeness and accuracy scoring against ground truth.
+
+The paper's target properties (Section 4.1), made measurable:
+
+- **Completeness**: "every node failure will be reported to every
+  operational node."  For each crashed node, the fraction of operational,
+  clustered nodes whose failure knowledge includes it.  (A node partitioned
+  from the network is not "operational" by the paper's definition and is
+  excluded.)
+- **Accuracy**: "no operational node will be suspected by other
+  operational nodes."  Every (suspector, suspected) pair where the
+  suspected node is in fact operational is a violation.
+
+The scorer reads protocol state (each node's
+:class:`~repro.fds.reports.ReportHistory`) and ground truth from the
+network -- exactly the vantage point the paper's analysis takes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.fds.service import FdsDeployment
+from repro.sim.trace import RecordingTracer
+from repro.fds import events as ev
+from repro.types import NodeId, SimTime
+
+
+@dataclass(frozen=True)
+class PropertyReport:
+    """Scored completeness/accuracy of one run."""
+
+    #: crashed node -> fraction of operational clustered nodes that know.
+    completeness: Dict[NodeId, float]
+    #: (suspector, suspected-but-operational) pairs.
+    accuracy_violations: Tuple[Tuple[NodeId, NodeId], ...]
+    #: crashed nodes some operational node does NOT know about.
+    incomplete_failures: Tuple[NodeId, ...]
+    operational_count: int
+    crashed_count: int
+
+    @property
+    def mean_completeness(self) -> float:
+        """Average completeness over all crashed nodes (1.0 if none)."""
+        if not self.completeness:
+            return 1.0
+        return sum(self.completeness.values()) / len(self.completeness)
+
+    @property
+    def is_complete(self) -> bool:
+        return not self.incomplete_failures
+
+    @property
+    def is_accurate(self) -> bool:
+        return not self.accuracy_violations
+
+
+def _observer_ids(deployment: FdsDeployment) -> List[NodeId]:
+    """Operational nodes that belong to some cluster (paper's scope)."""
+    return [
+        nid
+        for nid in deployment.network.operational_ids()
+        if deployment.layout.is_clustered(nid)
+    ]
+
+
+def completeness_of(deployment: FdsDeployment, failure: NodeId) -> float:
+    """Fraction of operational clustered nodes aware of ``failure``."""
+    observers = _observer_ids(deployment)
+    if not observers:
+        return 1.0
+    aware = sum(
+        1 for nid in observers if failure in deployment.protocols[nid].history
+    )
+    return aware / len(observers)
+
+
+def accuracy_violations(
+    deployment: FdsDeployment,
+) -> Tuple[Tuple[NodeId, NodeId], ...]:
+    """All (suspector, operational-suspected) pairs, sorted."""
+    operational = set(deployment.network.operational_ids())
+    violations: List[Tuple[NodeId, NodeId]] = []
+    for nid in sorted(operational):
+        protocol = deployment.protocols[nid]
+        for suspected in sorted(protocol.history.known):
+            if suspected in operational:
+                violations.append((nid, suspected))
+    return tuple(violations)
+
+
+def evaluate_properties(deployment: FdsDeployment) -> PropertyReport:
+    """Score a finished run."""
+    observers = _observer_ids(deployment)
+    crashed = deployment.network.crashed_ids()
+    completeness: Dict[NodeId, float] = {}
+    incomplete: List[NodeId] = []
+    for failure in crashed:
+        frac = completeness_of(deployment, failure)
+        completeness[failure] = frac
+        if frac < 1.0:
+            incomplete.append(failure)
+    return PropertyReport(
+        completeness=completeness,
+        accuracy_violations=accuracy_violations(deployment),
+        incomplete_failures=tuple(incomplete),
+        operational_count=len(observers),
+        crashed_count=len(crashed),
+    )
+
+
+def evaluate_histories(
+    network,
+    histories: Dict[NodeId, "object"],
+) -> PropertyReport:
+    """Score completeness/accuracy from raw per-node failure knowledge.
+
+    ``histories`` maps each node to an object supporting ``in`` (its
+    failure-knowledge set) -- typically a
+    :class:`~repro.fds.reports.ReportHistory`.  Used for baseline
+    detectors, which have no cluster layout; every operational node is an
+    observer.
+    """
+    observers = [nid for nid in network.operational_ids() if nid in histories]
+    operational = set(network.operational_ids())
+    crashed = network.crashed_ids()
+    completeness: Dict[NodeId, float] = {}
+    incomplete: List[NodeId] = []
+    for failure in crashed:
+        if observers:
+            aware = sum(1 for nid in observers if failure in histories[nid])
+            frac = aware / len(observers)
+        else:
+            frac = 1.0
+        completeness[failure] = frac
+        if frac < 1.0:
+            incomplete.append(failure)
+    violations: List[Tuple[NodeId, NodeId]] = []
+    for nid in sorted(observers):
+        history = histories[nid]
+        for suspected in sorted(getattr(history, "known", frozenset())):
+            if suspected in operational:
+                violations.append((nid, suspected))
+    return PropertyReport(
+        completeness=completeness,
+        accuracy_violations=tuple(violations),
+        incomplete_failures=tuple(incomplete),
+        operational_count=len(observers),
+        crashed_count=len(crashed),
+    )
+
+
+def detection_latency(
+    tracer: RecordingTracer,
+    crash_times: Dict[NodeId, SimTime],
+) -> Dict[NodeId, Optional[SimTime]]:
+    """Seconds from each crash to its *first* detection event (None if never)."""
+    first_detection: Dict[NodeId, SimTime] = {}
+    for record in tracer.iter_kind(ev.DETECTION):
+        target = NodeId(int(record.detail["target"]))
+        if target not in first_detection:
+            first_detection[target] = record.time
+    return {
+        nid: (first_detection[nid] - t if nid in first_detection else None)
+        for nid, t in crash_times.items()
+    }

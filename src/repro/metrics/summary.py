@@ -1,0 +1,43 @@
+"""Aggregation of repeated-trial measurements."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Mean / stddev / extremes of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.count < 1:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+
+def summarize(values: Sequence[float]) -> SeriesSummary:
+    """Summary statistics of a non-empty sample (population stddev)."""
+    if not values:
+        raise AnalysisError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / n
+    return SeriesSummary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(values),
+        maximum=max(values),
+    )

@@ -1,0 +1,17 @@
+"""Operations-team tooling (the paper's Section 1 use case).
+
+"It is crucial that the operation team be kept updated on the network's
+health.  Such information could offer early warnings of system failure
+(e.g., a significant number of lost resources may suggest an imminent
+system capacity exhaustion) and would aid in maintenance scheduling for
+the deployment of additional resources."
+
+:class:`~repro.ops.monitor.HealthMonitor` is exactly that consumer: it
+reads the FDS state as seen from any vantage node (a base station is just
+a node), tracks the believed-operational population against a capacity
+threshold, and raises replenishment advisories.
+"""
+
+from repro.ops.monitor import CapacityAdvisory, HealthMonitor, HealthSnapshot
+
+__all__ = ["HealthMonitor", "HealthSnapshot", "CapacityAdvisory"]

@@ -1,0 +1,120 @@
+"""Network-health monitoring from a vantage node's FDS state.
+
+The monitor is strictly a *consumer*: it reads what the vantage node's
+failure detection service already knows (its cumulative failure history
+and membership beliefs) and never touches the radio.  The operations team
+polls it after executions; when the believed-operational population drops
+below the capacity threshold it emits a :class:`CapacityAdvisory` naming
+how many replacements to deploy -- the maintenance-scheduling loop the
+paper's introduction motivates (replenishment itself is feature F5:
+dropped nodes subscribe by heartbeating unmarked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.fds.service import FdsDeployment
+from repro.types import NodeId, SimTime
+
+
+@dataclass(frozen=True)
+class HealthSnapshot:
+    """The network's health as believed at the vantage node."""
+
+    time: SimTime
+    vantage: NodeId
+    deployed: int
+    believed_failed: FrozenSet[NodeId]
+
+    @property
+    def believed_operational(self) -> int:
+        return self.deployed - len(self.believed_failed)
+
+    @property
+    def believed_loss_fraction(self) -> float:
+        if self.deployed == 0:
+            return 0.0
+        return len(self.believed_failed) / self.deployed
+
+
+@dataclass(frozen=True)
+class CapacityAdvisory:
+    """A maintenance recommendation: deploy this many replacements."""
+
+    time: SimTime
+    believed_operational: int
+    threshold: int
+    replacements_needed: int
+
+
+class HealthMonitor:
+    """Polls one vantage node's FDS view against a capacity threshold."""
+
+    def __init__(
+        self,
+        deployment: FdsDeployment,
+        vantage: NodeId,
+        capacity_threshold: int,
+        target_population: Optional[int] = None,
+    ) -> None:
+        if vantage not in deployment.protocols:
+            raise ConfigurationError(f"vantage {vantage} has no FDS protocol")
+        if capacity_threshold < 0:
+            raise ConfigurationError("capacity_threshold must be >= 0")
+        self.deployment = deployment
+        self.vantage = vantage
+        self.capacity_threshold = capacity_threshold
+        #: Population maintenance restores to (default: the threshold).
+        self.target_population = (
+            target_population if target_population is not None
+            else capacity_threshold
+        )
+        if self.target_population < capacity_threshold:
+            raise ConfigurationError(
+                "target_population must be >= capacity_threshold"
+            )
+        self.snapshots: List[HealthSnapshot] = []
+        self.advisories: List[CapacityAdvisory] = []
+
+    def poll(self) -> HealthSnapshot:
+        """Take a snapshot; emit an advisory if below threshold."""
+        protocol = self.deployment.protocols[self.vantage]
+        snapshot = HealthSnapshot(
+            time=self.deployment.network.sim.now,
+            vantage=self.vantage,
+            deployed=len(self.deployment.network.nodes),
+            believed_failed=protocol.history.known,
+        )
+        self.snapshots.append(snapshot)
+        if snapshot.believed_operational < self.capacity_threshold:
+            advisory = CapacityAdvisory(
+                time=snapshot.time,
+                believed_operational=snapshot.believed_operational,
+                threshold=self.capacity_threshold,
+                replacements_needed=(
+                    self.target_population - snapshot.believed_operational
+                ),
+            )
+            self.advisories.append(advisory)
+            return snapshot
+        return snapshot
+
+    @property
+    def latest(self) -> Optional[HealthSnapshot]:
+        return self.snapshots[-1] if self.snapshots else None
+
+    def accuracy_against_truth(self) -> float:
+        """Fraction of believed failures that are really crashed.
+
+        Ground-truth check for experiments (the vantage node itself
+        cannot compute this).  1.0 when nothing is believed failed.
+        """
+        latest = self.latest
+        if latest is None or not latest.believed_failed:
+            return 1.0
+        crashed = set(self.deployment.network.crashed_ids())
+        correct = sum(1 for nid in latest.believed_failed if nid in crashed)
+        return correct / len(latest.believed_failed)

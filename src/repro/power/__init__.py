@@ -1,0 +1,32 @@
+"""Sleep/wakeup power management (the paper's Section 6 outlook).
+
+The concluding remarks note that cluster architectures suit sleep/wakeup
+power strategies, but that "sleep mode may cause false detections", and
+announce plans "to derive algorithms to reduce the likelihood of
+sleep-mode-caused false detection."  This package implements both halves:
+
+- :class:`~repro.power.schedule.DutyCycleSchedule` puts ordinary members
+  to sleep for whole FDS executions (radio off, no rounds) while the
+  backbone (CH, deputies, gateways) stays awake -- the standard
+  cluster-based power regime;
+- sleep-aware detection: a node *announces* its upcoming sleep span on
+  its last heartbeat before sleeping; the detecting authorities excuse
+  announced absences, so a sleeping node is not declared failed
+  (:class:`~repro.power.manager.SleepManager` with
+  ``announce_sleep=True``), while a node that dies in its sleep is still
+  detected the first execution after its excuse expires.
+
+The power ablation benchmark quantifies the difference: naive sleeping
+produces a false detection per sleeping member per execution; announced
+sleeping produces none.
+"""
+
+from repro.power.manager import SleepManager, install_power_management
+from repro.power.schedule import DutyCycleSchedule, SleepSchedule
+
+__all__ = [
+    "SleepSchedule",
+    "DutyCycleSchedule",
+    "SleepManager",
+    "install_power_management",
+]

@@ -1,0 +1,125 @@
+"""The per-node sleep controller.
+
+A :class:`SleepManager` drives one node's radio and FDS participation from
+a :class:`~repro.power.schedule.SleepSchedule`:
+
+- at the start of each execution (via the FDS's ``pre_round1_hook``) it
+  decides whether the node sleeps this execution; sleeping turns the
+  receiver off and suppresses every FDS round (a sleeping host transmits
+  and hears nothing);
+- with ``announce_sleep=True`` (the paper's proposed mitigation) the last
+  awake heartbeat before a sleep span carries the span, so detecting
+  authorities excuse the absence;
+- backbone roles never sleep: the clusterhead, the acting deputies, and
+  boundary forwarders keep the service running (the usual cluster-based
+  power regime the paper's Section 6 references [18] motivate).
+
+Energy accounting: while asleep a node neither transmits nor receives, so
+the :class:`~repro.energy.model.EnergyModel` simply sees no drains; the
+power bench reports the resulting rx/tx savings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.fds.service import FdsDeployment, FdsProtocol
+from repro.power.schedule import SleepSchedule
+from repro.types import NodeId
+
+
+class SleepManager:
+    """Controls one node's duty cycling."""
+
+    def __init__(
+        self,
+        protocol: FdsProtocol,
+        schedule: SleepSchedule,
+        announce_sleep: bool = True,
+        announce_horizon: int = 2,
+    ) -> None:
+        if protocol.node is None:
+            raise ConfigurationError("FDS protocol is not attached to a node")
+        if announce_horizon < 1:
+            raise ConfigurationError(
+                f"announce_horizon must be >= 1, got {announce_horizon}"
+            )
+        self.protocol = protocol
+        self.schedule = schedule
+        self.announce_sleep = announce_sleep
+        #: Announce a sleep span on every awake heartbeat within this many
+        #: executions before it starts (time redundancy: a single lost
+        #: announcement no longer means a false detection).
+        self.announce_horizon = announce_horizon
+        #: No sleeping before this execution: every node stays awake long
+        #: enough to announce its first sleep span (cold-start safety).
+        self.warmup = announce_horizon if announce_sleep else 0
+        self.sleep_executions = 0
+        protocol.pre_round1_hook = self._on_execution_start
+
+    def _backbone(self) -> bool:
+        """Whether this node currently holds a role that must stay awake."""
+        protocol = self.protocol
+        if protocol.is_head:
+            return True
+        if protocol.deputies and protocol.node.node_id in protocol.deputies:
+            return True
+        if protocol.inter is not None and protocol.inter.duties:
+            return True
+        return False
+
+    def _on_execution_start(self, execution: int) -> None:
+        protocol = self.protocol
+        node = protocol.node
+        assert node is not None
+        if not node.is_operational:
+            return
+        wants_sleep = (
+            execution >= self.warmup
+            and self.schedule.asleep(node.node_id, execution)
+        )
+        sleeping = wants_sleep and not self._backbone()
+        if sleeping:
+            self.sleep_executions += 1
+        if sleeping != protocol.asleep:
+            protocol.asleep = sleeping
+            node.medium.set_receiving(node.node_id, not sleeping)
+        if not sleeping and self.announce_sleep and not self._backbone():
+            span = self._announcement_span(node.node_id, execution)
+            if span > 0:
+                protocol.pending_sleep_announcement = span
+
+    def _announcement_span(self, node_id: NodeId, execution: int) -> int:
+        """Excuse span to announce on this execution's heartbeat.
+
+        Looks ahead ``announce_horizon`` executions for the start of a
+        sleep run and, if found, excuses everything up to that run's end.
+        Excusing the awake gap in between is harmless: an excused node
+        that heartbeats anyway is simply not checked.
+        """
+        start = None
+        for offset in range(1, self.announce_horizon + 1):
+            if self.schedule.asleep(node_id, execution + offset):
+                start = execution + offset
+                break
+        if start is None:
+            return 0
+        end = start
+        while self.schedule.asleep(node_id, end + 1):
+            end += 1
+        return end - execution
+
+
+def install_power_management(
+    deployment: FdsDeployment,
+    schedule: SleepSchedule,
+    announce_sleep: bool = True,
+) -> Dict[NodeId, SleepManager]:
+    """Attach a :class:`SleepManager` to every node of an FDS deployment."""
+    managers: Dict[NodeId, SleepManager] = {}
+    for node_id, protocol in sorted(deployment.protocols.items()):
+        managers[node_id] = SleepManager(
+            protocol, schedule, announce_sleep=announce_sleep
+        )
+    return managers

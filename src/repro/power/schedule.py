@@ -1,0 +1,94 @@
+"""Sleep schedules: which FDS executions a node sleeps through."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.types import NodeId
+
+
+class SleepSchedule:
+    """Interface: decides per (node, execution) whether the node sleeps."""
+
+    def asleep(self, node_id: NodeId, execution: int) -> bool:
+        raise NotImplementedError
+
+    def span_ahead(self, node_id: NodeId, execution: int) -> int:
+        """How many consecutive executions starting at ``execution + 1``
+        the node will sleep through (what a sleep announcement carries).
+        """
+        span = 0
+        probe = execution + 1
+        while self.asleep(node_id, probe):
+            span += 1
+            probe += 1
+            if span > 10_000:  # pragma: no cover - guard against always-on
+                raise ConfigurationError(
+                    "schedule sleeps forever; a node must wake eventually"
+                )
+        return span
+
+
+class DutyCycleSchedule(SleepSchedule):
+    """Deterministic duty cycling: awake ``awake`` executions, then asleep
+    ``asleep_count``, repeating, with a per-node phase offset so the whole
+    cluster never sleeps at once.
+
+    ``phase_stride`` staggers nodes: node v's cycle is shifted by
+    ``(v * phase_stride) mod (awake + asleep_count)``.
+    """
+
+    def __init__(
+        self, awake: int = 3, asleep_count: int = 1, phase_stride: int = 1
+    ) -> None:
+        if awake < 1:
+            raise ConfigurationError(f"awake must be >= 1, got {awake}")
+        if asleep_count < 0:
+            raise ConfigurationError(
+                f"asleep_count must be >= 0, got {asleep_count}"
+            )
+        self.awake = awake
+        self.asleep_count = asleep_count
+        self.phase_stride = phase_stride
+
+    @property
+    def period(self) -> int:
+        return self.awake + self.asleep_count
+
+    def asleep(self, node_id: NodeId, execution: int) -> bool:
+        if self.asleep_count == 0 or execution < 0:
+            return False
+        phase = (execution + int(node_id) * self.phase_stride) % self.period
+        return phase >= self.awake
+
+
+class RandomSleepSchedule(SleepSchedule):
+    """Each node independently sleeps each execution with probability q.
+
+    Draws are memoized so ``asleep`` is a pure function of (node,
+    execution) -- required because announcements must predict the future
+    consistently with what the node then does.
+    """
+
+    def __init__(self, q: float, rng: Optional[np.random.Generator] = None,
+                 seed: int = 0) -> None:
+        if not 0.0 <= q < 1.0:
+            raise ConfigurationError(f"q must be in [0, 1), got {q}")
+        self.q = q
+        self._rng_seed = seed
+        self._memo: dict[tuple[int, int], bool] = {}
+
+    def asleep(self, node_id: NodeId, execution: int) -> bool:
+        if execution < 0:
+            return False
+        key = (int(node_id), execution)
+        if key not in self._memo:
+            # Derive a stable per-(node, execution) draw.
+            from repro.util.rng import derive_seed
+
+            seed = derive_seed(self._rng_seed, "sleep", key[0], key[1])
+            self._memo[key] = (seed % 10_000) / 10_000.0 < self.q
+        return self._memo[key]

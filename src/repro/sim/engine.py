@@ -1,0 +1,151 @@
+"""The simulation engine: a clock plus an event queue.
+
+Design notes
+------------
+The engine is deliberately minimal -- ``schedule`` / ``run_until`` / ``run``
+-- because every protocol in this library is round-based and needs nothing
+fancier.  Determinism rules:
+
+- time never goes backwards; scheduling strictly in the past raises;
+- same-time events fire in (priority, insertion) order;
+- all randomness is drawn from generators owned by components, never by the
+  engine itself.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue
+from repro.types import SimTime
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: print("hello at t=1"))
+        sim.run()
+    """
+
+    def __init__(self, start_time: SimTime = 0.0) -> None:
+        self._now: SimTime = start_time
+        self._queue = EventQueue()
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> SimTime:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of active events waiting to fire."""
+        return len(self._queue)
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events executed so far."""
+        return self._processed
+
+    def schedule_at(
+        self,
+        time: SimTime,
+        callback: Callable[[], None],
+        priority: int = DEFAULT_PRIORITY,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``time``.
+
+        Scheduling exactly at ``now`` is allowed (the event fires within the
+        current instant, after already-queued same-time events of equal
+        priority); scheduling in the past raises :class:`SchedulingError`.
+        """
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        return self._queue.push(time, callback, priority=priority, label=label)
+
+    def schedule_in(
+        self,
+        delay: SimTime,
+        callback: Callable[[], None],
+        priority: int = DEFAULT_PRIORITY,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SchedulingError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(
+            self._now + delay, callback, priority=priority, label=label
+        )
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event; idempotent."""
+        self._queue.cancel(event)
+
+    def step(self) -> bool:
+        """Execute the single next event.
+
+        Returns ``False`` when the queue is empty (nothing was run).
+        """
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        if event.time < self._now:  # pragma: no cover - guarded by schedule_at
+            raise SimulationError("event queue yielded an event in the past")
+        self._now = event.time
+        self._processed += 1
+        event.callback()
+        return True
+
+    def run_until(self, end_time: SimTime) -> None:
+        """Run all events with ``time <= end_time``; clock ends at ``end_time``.
+
+        The clock is advanced to ``end_time`` even if the queue drains early,
+        so periodic services can keep scheduling relative to a known time.
+        """
+        if end_time < self._now:
+            raise SchedulingError(
+                f"end_time {end_time} is before current time {self._now}"
+            )
+        self._guard_reentry()
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        self._now = end_time
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the queue is empty (or ``max_events`` is hit).
+
+        ``max_events`` guards against unintentionally unbounded simulations
+        (e.g. a periodic service with no stop condition).
+        """
+        self._guard_reentry()
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(
+                        f"run() exceeded max_events={max_events}; a periodic "
+                        "service may be rescheduling forever -- use run_until()"
+                    )
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+
+    def _guard_reentry(self) -> None:
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True

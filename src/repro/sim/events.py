@@ -1,0 +1,123 @@
+"""Event and event-queue primitives for the simulator.
+
+Events are totally ordered by ``(time, priority, sequence)``.  The sequence
+number is a monotonically increasing tiebreaker, so two events scheduled for
+the same instant and priority fire in scheduling order -- this determinism
+is what makes whole simulations replayable from a seed.
+
+Cancellation is O(1): a cancelled event stays in the heap but is skipped on
+pop (the classic "lazy deletion" scheme), which keeps :meth:`EventQueue.push`
+and :meth:`EventQueue.pop` both ``O(log n)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import SchedulingError
+from repro.types import SimTime
+
+#: Default event priority; lower fires first among same-time events.
+DEFAULT_PRIORITY = 0
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering fields come first so the heap orders by time, then priority,
+    then insertion sequence.  The callback itself never participates in
+    comparisons.
+    """
+
+    time: SimTime
+    priority: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the queue skips it; idempotent."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "active"
+        label = f" {self.label!r}" if self.label else ""
+        return f"<Event t={self.time:.6f} prio={self.priority}{label} {state}>"
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        """Number of *active* (non-cancelled) events."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: SimTime,
+        callback: Callable[[], None],
+        priority: int = DEFAULT_PRIORITY,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at ``time``; returns a cancellable handle."""
+        if time != time:  # NaN check
+            raise SchedulingError("event time is NaN")
+        event = Event(
+            time=time,
+            priority=priority,
+            sequence=next(self._counter),
+            callback=callback,
+            label=label,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event; safe to call twice."""
+        if not event.cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> Optional[SimTime]:
+        """Time of the next active event, or ``None`` if empty."""
+        self._discard_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the next active event.
+
+        Raises :class:`SchedulingError` when empty.
+        """
+        self._discard_cancelled()
+        if not self._heap:
+            raise SchedulingError("pop from an empty event queue")
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,200 @@
+"""Message-loss models for the radio medium.
+
+The paper's core assumption (Sections 2.2 and 5) is that "if a node v
+transmits a message, the message may fail to reach a neighbor of v with
+probability p" -- i.e. independent Bernoulli loss per (transmission,
+receiver) pair.  :class:`BernoulliLoss` implements exactly that and is the
+model used by every reproduction experiment.
+
+Extensions beyond the paper (used by ablation and robustness studies):
+
+- :class:`GilbertElliottLoss` -- bursty loss via a two-state Markov chain
+  per directed link, to probe the iid-loss assumption.
+- :class:`DistanceDependentLoss` -- loss grows with distance, approximating
+  a fading channel inside the unit disk.
+- :class:`CompositeLoss` -- a message survives only if it survives every
+  component model.
+- :class:`PerfectLinks` -- no loss; the deterministic baseline the
+  accuracy/completeness invariants are tested against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.types import NodeId, SimTime
+from repro.util.validation import check_probability, check_range
+
+
+class LossModel:
+    """Decides, per (sender, receiver, transmission), whether a copy is lost.
+
+    Implementations must be *stateless across receivers* unless the model's
+    semantics require per-link state; the medium calls :meth:`is_lost` once
+    per potential receiver of each transmission.
+    """
+
+    def is_lost(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        distance: float,
+        time: SimTime,
+        rng: np.random.Generator,
+    ) -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable parameterization, for experiment manifests."""
+        return type(self).__name__
+
+
+class PerfectLinks(LossModel):
+    """Never loses a message (the paper's idealized reference case)."""
+
+    def is_lost(self, sender, receiver, distance, time, rng) -> bool:
+        return False
+
+    def describe(self) -> str:
+        return "PerfectLinks()"
+
+
+class BernoulliLoss(LossModel):
+    """Independent loss with fixed probability ``p`` per receiver.
+
+    This is the paper's model: every copy of every transmission is lost
+    independently with probability ``p``, for ``p`` in the studied range
+    ``[0.05, 0.5]`` (any ``[0, 1]`` value is accepted).
+    """
+
+    def __init__(self, p: float) -> None:
+        self.p = check_probability("p", p)
+
+    def is_lost(self, sender, receiver, distance, time, rng) -> bool:
+        if self.p == 0.0:
+            return False
+        if self.p == 1.0:
+            return True
+        return bool(rng.uniform() < self.p)
+
+    def describe(self) -> str:
+        return f"BernoulliLoss(p={self.p})"
+
+
+class GilbertElliottLoss(LossModel):
+    """Bursty loss: per directed link, a Good/Bad two-state Markov chain.
+
+    In the Good state a copy is lost with probability ``p_good``; in the Bad
+    state with ``p_bad``.  Transition probabilities ``p_gb`` (Good->Bad) and
+    ``p_bg`` (Bad->Good) are applied per transmission on that link.  The
+    stationary loss rate is ``(p_bg*p_good + p_gb*p_bad) / (p_gb + p_bg)``,
+    exposed as :attr:`stationary_loss_rate` so sweeps can match the mean
+    loss of a Bernoulli model while varying burstiness.
+    """
+
+    GOOD = 0
+    BAD = 1
+
+    def __init__(
+        self,
+        p_good: float = 0.01,
+        p_bad: float = 0.8,
+        p_gb: float = 0.05,
+        p_bg: float = 0.3,
+    ) -> None:
+        self.p_good = check_probability("p_good", p_good)
+        self.p_bad = check_probability("p_bad", p_bad)
+        self.p_gb = check_probability("p_gb", p_gb)
+        self.p_bg = check_probability("p_bg", p_bg)
+        if self.p_gb + self.p_bg == 0:
+            raise ValueError("p_gb + p_bg must be > 0 for an ergodic chain")
+        self._state: Dict[Tuple[NodeId, NodeId], int] = {}
+
+    @property
+    def stationary_loss_rate(self) -> float:
+        """Long-run average loss probability of the chain."""
+        pi_bad = self.p_gb / (self.p_gb + self.p_bg)
+        return (1 - pi_bad) * self.p_good + pi_bad * self.p_bad
+
+    def is_lost(self, sender, receiver, distance, time, rng) -> bool:
+        link = (sender, receiver)
+        state = self._state.get(link, self.GOOD)
+        # Advance the chain first, then draw the loss in the new state.
+        if state == self.GOOD:
+            if rng.uniform() < self.p_gb:
+                state = self.BAD
+        else:
+            if rng.uniform() < self.p_bg:
+                state = self.GOOD
+        self._state[link] = state
+        loss_p = self.p_bad if state == self.BAD else self.p_good
+        return bool(rng.uniform() < loss_p)
+
+    def reset(self) -> None:
+        """Forget all per-link state (all links return to Good)."""
+        self._state.clear()
+
+    def describe(self) -> str:
+        return (
+            f"GilbertElliottLoss(p_good={self.p_good}, p_bad={self.p_bad}, "
+            f"p_gb={self.p_gb}, p_bg={self.p_bg})"
+        )
+
+
+class DistanceDependentLoss(LossModel):
+    """Loss probability rising from ``p_near`` to ``p_far`` across the range.
+
+    ``p(d) = p_near + (p_far - p_near) * (d / range)**exponent`` clipped to
+    ``[0, 1]``.  With ``exponent=2`` this mimics a quadratic path-loss
+    degradation toward the edge of the unit disk.
+    """
+
+    def __init__(
+        self,
+        transmission_range: float,
+        p_near: float = 0.02,
+        p_far: float = 0.4,
+        exponent: float = 2.0,
+    ) -> None:
+        if transmission_range <= 0:
+            raise ValueError("transmission_range must be positive")
+        self.transmission_range = float(transmission_range)
+        self.p_near = check_probability("p_near", p_near)
+        self.p_far = check_probability("p_far", p_far)
+        self.exponent = check_range("exponent", exponent, 0.0, 16.0)
+
+    def loss_probability(self, distance: float) -> float:
+        """The per-copy loss probability at the given distance."""
+        frac = min(max(distance / self.transmission_range, 0.0), 1.0)
+        p = self.p_near + (self.p_far - self.p_near) * math.pow(frac, self.exponent)
+        return min(max(p, 0.0), 1.0)
+
+    def is_lost(self, sender, receiver, distance, time, rng) -> bool:
+        return bool(rng.uniform() < self.loss_probability(distance))
+
+    def describe(self) -> str:
+        return (
+            f"DistanceDependentLoss(range={self.transmission_range}, "
+            f"p_near={self.p_near}, p_far={self.p_far}, exp={self.exponent})"
+        )
+
+
+class CompositeLoss(LossModel):
+    """A copy survives only if it survives *every* component model."""
+
+    def __init__(self, *models: LossModel) -> None:
+        if not models:
+            raise ValueError("CompositeLoss requires at least one model")
+        self.models = tuple(models)
+
+    def is_lost(self, sender, receiver, distance, time, rng) -> bool:
+        return any(
+            m.is_lost(sender, receiver, distance, time, rng) for m in self.models
+        )
+
+    def describe(self) -> str:
+        inner = ", ".join(m.describe() for m in self.models)
+        return f"CompositeLoss({inner})"

@@ -1,0 +1,261 @@
+"""The shared wireless medium: unit-disk propagation with promiscuous receive.
+
+Semantics follow Section 2.3 of the paper:
+
+- all hosts share one transmission range ``R`` (symmetric links);
+- a transmission by ``v`` is *heard by every one-hop neighbor of v*
+  regardless of the intended recipient (promiscuous receiving mode), so a
+  "send" and a "broadcast" differ only in the message's ``recipient`` field;
+- each copy is lost independently according to the installed
+  :class:`~repro.sim.loss.LossModel` (probability ``p`` in the paper);
+- a delivered copy arrives within the per-hop bound ``Thop`` (we draw the
+  delay uniformly from ``(epsilon, thop_fraction * Thop]`` so all
+  round-based deadlines in the protocol hold, matching the paper's timing
+  assumption 2 in Section 2.2).
+
+The medium also maintains the neighbor structure (via a spatial grid hash,
+so building a 1000-node network does not cost O(n^2) distance checks) and
+exposes it read-only to protocols *only* through what they can hear --
+protocol code never peeks at ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import MediumError
+from repro.sim.engine import Simulator
+from repro.sim.loss import LossModel, PerfectLinks
+from repro.sim.trace import NullTracer, Tracer
+from repro.types import NodeId, SimTime
+from repro.util.geometry import Vec2
+from repro.util.validation import check_positive, check_range
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    """A delivered copy of a transmission, as seen by one receiver.
+
+    ``overheard`` is ``True`` when the receiver was not the intended
+    recipient -- the paper's "inherent message redundancy" that digests
+    exploit.  ``recipient is None`` means an intentional broadcast, in which
+    case no copy is marked overheard.
+    """
+
+    sender: NodeId
+    recipient: Optional[NodeId]
+    payload: object
+    sent_at: SimTime
+    received_at: SimTime
+    overheard: bool
+
+
+DeliveryHandler = Callable[[Envelope], None]
+
+
+class RadioMedium:
+    """The single shared broadcast channel of the simulated network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transmission_range: float,
+        loss_model: Optional[LossModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        max_delay: float = 0.1,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.transmission_range = check_positive(
+            "transmission_range", transmission_range
+        )
+        self.loss_model = loss_model if loss_model is not None else PerfectLinks()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        #: Upper bound on one-hop delivery delay (the paper's ``Thop`` is a
+        #: protocol round duration chosen >= this bound).
+        self.max_delay = check_positive("max_delay", max_delay)
+        self.tracer = tracer if tracer is not None else NullTracer()
+
+        self._positions: Dict[NodeId, Vec2] = {}
+        self._handlers: Dict[NodeId, DeliveryHandler] = {}
+        self._receiving: Dict[NodeId, bool] = {}
+        self._cell_size = self.transmission_range
+        self._grid: Dict[Tuple[int, int], List[NodeId]] = defaultdict(list)
+        self._neighbor_cache: Optional[Dict[NodeId, Tuple[NodeId, ...]]] = None
+        # Counters for metrics.
+        self.transmissions = 0
+        self.deliveries = 0
+        self.losses = 0
+
+    # ------------------------------------------------------------------
+    # Registration and topology
+    # ------------------------------------------------------------------
+    def register(
+        self, node_id: NodeId, position: Vec2, handler: DeliveryHandler
+    ) -> None:
+        """Attach a node at ``position``; ``handler`` receives envelopes."""
+        if node_id in self._positions:
+            raise MediumError(f"node {node_id} is already registered")
+        self._positions[node_id] = position
+        self._handlers[node_id] = handler
+        self._receiving[node_id] = True
+        self._grid[self._cell_of(position)].append(node_id)
+        self._neighbor_cache = None
+
+    def unregister(self, node_id: NodeId) -> None:
+        """Detach a node entirely (e.g. permanent removal from the field)."""
+        position = self._positions.pop(node_id, None)
+        if position is None:
+            raise MediumError(f"node {node_id} is not registered")
+        del self._handlers[node_id]
+        del self._receiving[node_id]
+        self._grid[self._cell_of(position)].remove(node_id)
+        self._neighbor_cache = None
+
+    def set_receiving(self, node_id: NodeId, receiving: bool) -> None:
+        """Mute/unmute a node's receiver (crashed nodes hear nothing)."""
+        if node_id not in self._receiving:
+            raise MediumError(f"node {node_id} is not registered")
+        self._receiving[node_id] = receiving
+
+    def move(self, node_id: NodeId, position: Vec2) -> None:
+        """Relocate a node (mobility extension)."""
+        old = self._positions.get(node_id)
+        if old is None:
+            raise MediumError(f"node {node_id} is not registered")
+        self._grid[self._cell_of(old)].remove(node_id)
+        self._positions[node_id] = position
+        self._grid[self._cell_of(position)].append(node_id)
+        self._neighbor_cache = None
+
+    def position_of(self, node_id: NodeId) -> Vec2:
+        """Ground-truth position (for metrics/tests, not protocol logic)."""
+        try:
+            return self._positions[node_id]
+        except KeyError:
+            raise MediumError(f"node {node_id} is not registered") from None
+
+    def node_ids(self) -> Tuple[NodeId, ...]:
+        """All registered node ids, sorted for determinism."""
+        return tuple(sorted(self._positions))
+
+    def neighbors_of(self, node_id: NodeId) -> Tuple[NodeId, ...]:
+        """One-hop neighbors of a node (ground truth, cached)."""
+        if self._neighbor_cache is None:
+            self._build_neighbor_cache()
+        assert self._neighbor_cache is not None
+        try:
+            return self._neighbor_cache[node_id]
+        except KeyError:
+            raise MediumError(f"node {node_id} is not registered") from None
+
+    def distance(self, a: NodeId, b: NodeId) -> float:
+        """Ground-truth distance between two registered nodes."""
+        return self.position_of(a).distance_to(self.position_of(b))
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def transmit(
+        self,
+        sender: NodeId,
+        payload: object,
+        recipient: Optional[NodeId] = None,
+    ) -> int:
+        """Send ``payload``; every in-range node may hear it.
+
+        ``recipient=None`` is an intentional broadcast.  Returns the number
+        of copies scheduled for delivery (after loss), which metrics use as
+        the delivery fan-out.
+        """
+        if sender not in self._positions:
+            raise MediumError(f"sender {sender} is not registered")
+        if recipient is not None and recipient not in self._positions:
+            raise MediumError(f"recipient {recipient} is not registered")
+        now = self.sim.now
+        self.transmissions += 1
+        self.tracer.record(now, "radio.tx", node=int(sender), recipient=recipient)
+        delivered = 0
+        for receiver in self.neighbors_of(sender):
+            if not self._receiving[receiver]:
+                continue
+            dist = self.distance(sender, receiver)
+            if self.loss_model.is_lost(sender, receiver, dist, now, self.rng):
+                self.losses += 1
+                self.tracer.record(
+                    now, "radio.loss", node=int(receiver), sender=int(sender)
+                )
+                continue
+            delay = float(self.rng.uniform(0.0, self.max_delay))
+            if delay == 0.0:
+                delay = self.max_delay * 1e-9
+            envelope = Envelope(
+                sender=sender,
+                recipient=recipient,
+                payload=payload,
+                sent_at=now,
+                received_at=now + delay,
+                overheard=(recipient is not None and receiver != recipient),
+            )
+            self._schedule_delivery(receiver, envelope)
+            delivered += 1
+        return delivered
+
+    def _schedule_delivery(self, receiver: NodeId, envelope: Envelope) -> None:
+        def deliver() -> None:
+            # Receiver may have crashed/unregistered since the copy left.
+            if not self._receiving.get(receiver, False):
+                return
+            self.deliveries += 1
+            self.tracer.record(
+                envelope.received_at,
+                "radio.rx",
+                node=int(receiver),
+                sender=int(envelope.sender),
+                overheard=envelope.overheard,
+            )
+            self._handlers[receiver](envelope)
+
+        self.sim.schedule_in(
+            envelope.received_at - self.sim.now, deliver, label="radio.delivery"
+        )
+
+    # ------------------------------------------------------------------
+    # Spatial grid internals
+    # ------------------------------------------------------------------
+    def _cell_of(self, position: Vec2) -> Tuple[int, int]:
+        return (
+            int(np.floor(position.x / self._cell_size)),
+            int(np.floor(position.y / self._cell_size)),
+        )
+
+    def _candidate_ids(self, position: Vec2) -> Iterable[NodeId]:
+        cx, cy = self._cell_of(position)
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                yield from self._grid.get((cx + dx, cy + dy), ())
+
+    def _build_neighbor_cache(self) -> None:
+        cache: Dict[NodeId, Tuple[NodeId, ...]] = {}
+        r = self.transmission_range
+        for node_id, position in self._positions.items():
+            neighbors = [
+                other
+                for other in self._candidate_ids(position)
+                if other != node_id
+                and position.distance_to(self._positions[other]) <= r
+            ]
+            cache[node_id] = tuple(sorted(neighbors))
+        self._neighbor_cache = cache
+
+    def message_stats(self) -> Dict[str, int]:
+        """Cumulative medium-level counters."""
+        return {
+            "transmissions": self.transmissions,
+            "deliveries": self.deliveries,
+            "losses": self.losses,
+        }

@@ -1,0 +1,105 @@
+"""Mobility models (extension hooks beyond the paper's static setting).
+
+The paper explicitly defers resource migration ("for simplicity, we do not
+address resource migration problems in this paper") but notes that sound
+clustering supports mobile settings.  This module provides the hooks a
+mobile extension needs: a :class:`MobilityModel` stepped periodically by the
+engine, with :class:`StaticPlacement` as the paper-faithful default and
+:class:`RandomWaypoint` as the standard mobile workload for future studies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.medium import RadioMedium
+from repro.types import NodeId, SimTime
+from repro.util.geometry import Vec2
+from repro.util.validation import check_positive
+
+
+class MobilityModel:
+    """Interface: advances node positions on a fixed tick."""
+
+    def step(self, medium: RadioMedium, dt: SimTime) -> None:
+        raise NotImplementedError
+
+    def install(
+        self, sim: Simulator, medium: RadioMedium, tick: SimTime, until: SimTime
+    ) -> None:
+        """Schedule periodic stepping on the engine until ``until``."""
+        check_positive("tick", tick)
+
+        def tick_once() -> None:
+            self.step(medium, tick)
+            if sim.now + tick <= until:
+                sim.schedule_in(tick, tick_once, label="mobility.tick")
+
+        sim.schedule_in(tick, tick_once, label="mobility.tick")
+
+
+class StaticPlacement(MobilityModel):
+    """Nodes never move (the paper's assumption)."""
+
+    def step(self, medium: RadioMedium, dt: SimTime) -> None:
+        pass
+
+
+class RandomWaypoint(MobilityModel):
+    """Classic random-waypoint mobility inside a rectangular field.
+
+    Each node picks a uniform destination in the field and moves toward it
+    at a per-node uniform speed from ``[speed_min, speed_max]``; on arrival
+    it picks a new destination.  Pause times are omitted (set speed bounds
+    low to mimic slow deployments).
+    """
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        speed_min: float,
+        speed_max: float,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.width = check_positive("width", width)
+        self.height = check_positive("height", height)
+        self.speed_min = check_positive("speed_min", speed_min)
+        self.speed_max = check_positive("speed_max", speed_max)
+        if speed_max < speed_min:
+            raise ValueError("speed_max must be >= speed_min")
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._targets: Dict[NodeId, Vec2] = {}
+        self._speeds: Dict[NodeId, float] = {}
+
+    def _new_target(self) -> Vec2:
+        return Vec2(
+            float(self.rng.uniform(0.0, self.width)),
+            float(self.rng.uniform(0.0, self.height)),
+        )
+
+    def step(self, medium: RadioMedium, dt: SimTime) -> None:
+        for node_id in medium.node_ids():
+            pos = medium.position_of(node_id)
+            target = self._targets.get(node_id)
+            if target is None or pos.distance_to(target) < 1e-9:
+                target = self._new_target()
+                self._targets[node_id] = target
+                self._speeds[node_id] = float(
+                    self.rng.uniform(self.speed_min, self.speed_max)
+                )
+            speed = self._speeds[node_id]
+            remaining = pos.distance_to(target)
+            stride = min(speed * dt, remaining)
+            if remaining > 0:
+                direction = Vec2(
+                    (target.x - pos.x) / remaining, (target.y - pos.y) / remaining
+                )
+                medium.move(
+                    node_id,
+                    Vec2(pos.x + direction.x * stride, pos.y + direction.y * stride),
+                )

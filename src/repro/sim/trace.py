@@ -1,0 +1,125 @@
+"""Structured tracing of simulation activity.
+
+A :class:`Tracer` receives one :class:`TraceRecord` per noteworthy event
+(transmission, delivery, loss, detection, ...).  Components emit through
+whatever tracer the network was built with; the default
+:class:`NullTracer` makes tracing free when disabled, and
+:class:`RecordingTracer` captures records for tests and metrics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Optional
+
+from repro.types import SimTime
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    ``kind`` is a dotted category string (e.g. ``"radio.loss"``,
+    ``"fds.false_detection"``); ``node`` is the acting node's NID when one
+    applies; ``detail`` carries kind-specific fields.
+    """
+
+    time: SimTime
+    kind: str
+    node: Optional[int] = None
+    detail: Mapping[str, object] = field(default_factory=dict)
+
+
+class Tracer:
+    """Interface: receives trace records; subclasses decide what to keep."""
+
+    def emit(self, record: TraceRecord) -> None:
+        raise NotImplementedError
+
+    def record(
+        self,
+        time: SimTime,
+        kind: str,
+        node: Optional[int] = None,
+        **detail: object,
+    ) -> None:
+        """Convenience constructor-and-emit."""
+        self.emit(TraceRecord(time=time, kind=kind, node=node, detail=detail))
+
+
+class NullTracer(Tracer):
+    """Discards everything; the zero-overhead default."""
+
+    def emit(self, record: TraceRecord) -> None:
+        pass
+
+
+class RecordingTracer(Tracer):
+    """Keeps every record in memory; supports filtering and counting."""
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    def emit(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def filter(self, kind: str) -> list[TraceRecord]:
+        """All records whose kind equals or is nested under ``kind``."""
+        prefix = kind + "."
+        return [r for r in self.records if r.kind == kind or r.kind.startswith(prefix)]
+
+    def count(self, kind: str) -> int:
+        """Number of records matching ``kind`` (prefix semantics)."""
+        return len(self.filter(kind))
+
+    def kinds(self) -> Counter:
+        """Histogram of record kinds."""
+        return Counter(r.kind for r in self.records)
+
+    def iter_kind(self, kind: str) -> Iterator[TraceRecord]:
+        prefix = kind + "."
+        for r in self.records:
+            if r.kind == kind or r.kind.startswith(prefix):
+                yield r
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+def records_to_jsonl(records: Iterator[TraceRecord] | list[TraceRecord]) -> str:
+    """Serialize trace records as JSON Lines (one record per line).
+
+    The standard interchange for post-hoc analysis: load into pandas,
+    ``jq``, or a notebook.  Detail values must be JSON-serializable (the
+    library's own emitters only use ints, floats, bools, strings, lists).
+    """
+    import json
+
+    lines = []
+    for record in records:
+        lines.append(
+            json.dumps(
+                {
+                    "time": record.time,
+                    "kind": record.kind,
+                    "node": record.node,
+                    **dict(record.detail),
+                },
+                sort_keys=True,
+            )
+        )
+    return "\n".join(lines)
+
+
+class CallbackTracer(Tracer):
+    """Forwards each record to a user callback (streaming consumption)."""
+
+    def __init__(self, callback: Callable[[TraceRecord], None]) -> None:
+        self._callback = callback
+
+    def emit(self, record: TraceRecord) -> None:
+        self._callback(record)

@@ -1,0 +1,127 @@
+"""Unit-disk graph over a placement.
+
+The paper models the network as ``G = (V, E)`` where an edge connects nodes
+within transmission range of each other (Section 2.3).  This class is the
+*ground truth* graph used by topology analysis, the geometric cluster
+oracle, and the metrics layer.  Protocol code must not consult it; protocols
+learn the topology only by listening.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.types import NodeId
+from repro.util.geometry import Vec2
+from repro.util.validation import check_positive
+
+
+class UnitDiskGraph:
+    """Immutable unit-disk graph built from positions and a range.
+
+    Neighbor lookups are O(1) after construction; construction uses a
+    spatial grid so it is near-linear in the node count.
+    """
+
+    def __init__(self, positions: Mapping[NodeId, Vec2], radius: float) -> None:
+        check_positive("radius", radius)
+        if not positions:
+            raise TopologyError("a graph needs at least one node")
+        self._positions: Dict[NodeId, Vec2] = dict(positions)
+        self._radius = float(radius)
+        self._adjacency: Dict[NodeId, Tuple[NodeId, ...]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        cell = self._radius
+        grid: Dict[Tuple[int, int], list[NodeId]] = defaultdict(list)
+        for node_id, pos in self._positions.items():
+            grid[(int(np.floor(pos.x / cell)), int(np.floor(pos.y / cell)))].append(
+                node_id
+            )
+        adjacency: Dict[NodeId, list[NodeId]] = {nid: [] for nid in self._positions}
+        for node_id, pos in self._positions.items():
+            cx, cy = int(np.floor(pos.x / cell)), int(np.floor(pos.y / cell))
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    for other in grid.get((cx + dx, cy + dy), ()):
+                        if other <= node_id:
+                            continue
+                        if pos.distance_to(self._positions[other]) <= self._radius:
+                            adjacency[node_id].append(other)
+                            adjacency[other].append(node_id)
+        self._adjacency = {
+            nid: tuple(sorted(neigh)) for nid, neigh in adjacency.items()
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def radius(self) -> float:
+        """The shared transmission range."""
+        return self._radius
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._positions
+
+    def nodes(self) -> Tuple[NodeId, ...]:
+        """All NIDs, sorted."""
+        return tuple(sorted(self._positions))
+
+    def position(self, node_id: NodeId) -> Vec2:
+        try:
+            return self._positions[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id}") from None
+
+    def positions(self) -> Dict[NodeId, Vec2]:
+        """A copy of the position map."""
+        return dict(self._positions)
+
+    def neighbors(self, node_id: NodeId) -> Tuple[NodeId, ...]:
+        """One-hop neighbors of ``node_id``, sorted."""
+        try:
+            return self._adjacency[node_id]
+        except KeyError:
+            raise TopologyError(f"unknown node {node_id}") from None
+
+    def degree(self, node_id: NodeId) -> int:
+        return len(self.neighbors(node_id))
+
+    def edges(self) -> Iterator[Tuple[NodeId, NodeId]]:
+        """Each undirected edge once, as ``(low, high)`` pairs."""
+        for node_id, neigh in sorted(self._adjacency.items()):
+            for other in neigh:
+                if other > node_id:
+                    yield (node_id, other)
+
+    def edge_count(self) -> int:
+        return sum(len(n) for n in self._adjacency.values()) // 2
+
+    def distance(self, a: NodeId, b: NodeId) -> float:
+        """Euclidean distance between two nodes."""
+        return self.position(a).distance_to(self.position(b))
+
+    def are_neighbors(self, a: NodeId, b: NodeId) -> bool:
+        """Whether an edge connects ``a`` and ``b``."""
+        return b in self._adjacency.get(a, ())
+
+    def common_neighbors(self, a: NodeId, b: NodeId) -> Tuple[NodeId, ...]:
+        """Nodes adjacent to both ``a`` and ``b`` (gateway candidates)."""
+        return tuple(sorted(set(self.neighbors(a)) & set(self.neighbors(b))))
+
+    def subgraph(self, node_ids: Iterable[NodeId]) -> "UnitDiskGraph":
+        """The induced subgraph on ``node_ids``."""
+        keep = set(node_ids)
+        missing = keep - set(self._positions)
+        if missing:
+            raise TopologyError(f"unknown nodes in subgraph request: {sorted(missing)}")
+        return UnitDiskGraph(
+            {nid: self._positions[nid] for nid in keep}, self._radius
+        )

@@ -1,0 +1,64 @@
+"""Shared primitive types used across the library.
+
+The paper's terminology (Section 2.3) is mirrored here: hosts are *nodes*
+identified by a globally unique node identifier (NID); an ad hoc network is
+a graph whose edges connect nodes within transmission range of each other.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NewType
+
+#: Globally unique node identifier ("NID" in the paper).  NIDs are plain
+#: integers; the lowest-ID clustering policy relies on their total order.
+NodeId = NewType("NodeId", int)
+
+#: Simulated time, in seconds.
+SimTime = float
+
+#: Message-loss probability (paper notation: ``p``).
+LossProbability = float
+
+
+class NodeRole(enum.Enum):
+    """Role a node plays in the cluster-based communication architecture.
+
+    Mirrors Figure 1 of the paper plus the redundancy roles of feature F2:
+
+    - ``CH``  -- clusterhead, the center of a cluster (unit disk).
+    - ``DCH`` -- deputy clusterhead, ranked stand-in that monitors the CH.
+    - ``GW``  -- gateway, a one-hop neighbor of two (or more) CHs that
+      participates in inter-cluster forwarding.
+    - ``BGW`` -- backup gateway, ranked standby for a gateway.
+    - ``OM``  -- ordinary member.
+    - ``UNMARKED`` -- not yet admitted to any cluster (feature F4/F5).
+    """
+
+    CH = "clusterhead"
+    DCH = "deputy-clusterhead"
+    GW = "gateway"
+    BGW = "backup-gateway"
+    OM = "ordinary-member"
+    UNMARKED = "unmarked"
+
+    @property
+    def is_marked(self) -> bool:
+        """Whether a node with this role has been admitted to a cluster."""
+        return self is not NodeRole.UNMARKED
+
+    @property
+    def participates_in_backbone(self) -> bool:
+        """Whether this role takes part in inter-cluster communication."""
+        return self in (NodeRole.CH, NodeRole.GW, NodeRole.BGW, NodeRole.DCH)
+
+
+class NodeStatus(enum.Enum):
+    """Ground-truth liveness of a simulated node (fail-stop model)."""
+
+    ALIVE = "alive"
+    CRASHED = "crashed"
+
+    @property
+    def is_operational(self) -> bool:
+        return self is NodeStatus.ALIVE

@@ -1,0 +1,5 @@
+"""Dependency-free visualization helpers (plain text)."""
+
+from repro.viz.ascii_map import render_field_map
+
+__all__ = ["render_field_map"]

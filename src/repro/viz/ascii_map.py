@@ -1,0 +1,89 @@
+"""ASCII field maps: positions, roles, and liveness at a glance.
+
+No plotting dependency; the map is a character grid where each cell shows
+the most prominent node inside it:
+
+====  =============================================
+ `H`  clusterhead
+ `D`  deputy clusterhead
+ `G`  gateway
+ `B`  backup gateway
+ `o`  ordinary member
+ `?`  unmarked / unclustered
+ `x`  crashed (any role)
+====  =============================================
+
+Prominence order: crashed markers win (that is what an operator scans
+for), then backbone roles, then members.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Set
+
+from repro.cluster.state import ClusterLayout
+from repro.errors import ConfigurationError
+from repro.types import NodeId, NodeRole
+from repro.util.geometry import Vec2
+
+_ROLE_CHARS = {
+    NodeRole.CH: "H",
+    NodeRole.DCH: "D",
+    NodeRole.GW: "G",
+    NodeRole.BGW: "B",
+    NodeRole.OM: "o",
+    NodeRole.UNMARKED: "?",
+}
+
+#: Higher wins when several nodes share a cell.
+_PROMINENCE = {"x": 6, "H": 5, "D": 4, "G": 3, "B": 2, "o": 1, "?": 0}
+
+
+def render_field_map(
+    positions: Mapping[NodeId, Vec2],
+    layout: Optional[ClusterLayout] = None,
+    crashed: Optional[Set[NodeId]] = None,
+    width: int = 72,
+    height: int = 24,
+) -> str:
+    """The field as a character grid with a legend line.
+
+    ``layout`` supplies roles (all nodes render as ``o`` without it);
+    ``crashed`` nodes render as ``x`` regardless of role.
+    """
+    if not positions:
+        raise ConfigurationError("nothing to draw")
+    if width < 8 or height < 4:
+        raise ConfigurationError("map must be at least 8x4 characters")
+    dead = crashed or set()
+    xs = [p.x for p in positions.values()]
+    ys = [p.y for p in positions.values()]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+
+    grid: Dict[tuple[int, int], str] = {}
+    for node_id, pos in positions.items():
+        col = min(width - 1, int((pos.x - min_x) / span_x * (width - 1)))
+        row = min(height - 1, int((pos.y - min_y) / span_y * (height - 1)))
+        if node_id in dead:
+            char = "x"
+        elif layout is not None:
+            char = _ROLE_CHARS[layout.role_of(node_id)]
+        else:
+            char = "o"
+        existing = grid.get((row, col))
+        if existing is None or _PROMINENCE[char] > _PROMINENCE[existing]:
+            grid[(row, col)] = char
+
+    lines = []
+    for row in range(height - 1, -1, -1):  # y grows upward
+        lines.append(
+            "".join(grid.get((row, col), ".") for col in range(width))
+        )
+    lines.append(
+        "legend: H=head D=deputy G=gateway B=backup o=member ?=unmarked "
+        "x=crashed .=empty"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Shared helpers for FDS integration tests."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cluster.geometric import build_clusters
+from repro.fds.config import FdsConfig
+from repro.fds.service import install_fds
+from repro.sim.loss import LossModel
+from repro.sim.network import NetworkConfig, build_network
+from repro.sim.trace import RecordingTracer
+from repro.topology.graph import UnitDiskGraph
+
+
+class TargetedLoss(LossModel):
+    """Drops exactly the copies a predicate selects; everything else flows.
+
+    The deterministic fault injector for protocol tests: e.g. "every copy
+    sent by the CH to the DCH between t=10 and t=20 is lost".
+    """
+
+    def __init__(self, predicate: Callable[[int, int, float], bool]) -> None:
+        self.predicate = predicate
+        self.dropped = 0
+
+    def is_lost(self, sender, receiver, distance, time, rng) -> bool:
+        if self.predicate(int(sender), int(receiver), float(time)):
+            self.dropped += 1
+            return True
+        return False
+
+
+class PhasedLoss(LossModel):
+    """Bernoulli loss with probability ``p`` until ``cutoff``, then perfect.
+
+    Lets a test stress the protocol and then observe whether it quiesces
+    to a clean state once the channel recovers.
+    """
+
+    def __init__(self, p: float, cutoff: float) -> None:
+        self.p = p
+        self.cutoff = cutoff
+
+    def is_lost(self, sender, receiver, distance, time, rng) -> bool:
+        if time >= self.cutoff:
+            return False
+        return bool(rng.uniform() < self.p)
+
+
+def deploy(placement, p=0.0, seed=0, fds_config=None, loss_model=None,
+           max_backups=2, deputy_count=2):
+    """Build graph + layout + network + FDS in one call.
+
+    Returns (deployment, layout, tracer, network).
+    """
+    graph = UnitDiskGraph(placement, radius=100.0)
+    layout = build_clusters(
+        graph, deputy_count=deputy_count, max_backups=max_backups
+    )
+    tracer = RecordingTracer()
+    network = build_network(
+        placement,
+        NetworkConfig(loss_probability=p, seed=seed),
+        loss_model=loss_model,
+        tracer=tracer,
+    )
+    cfg = fds_config if fds_config is not None else FdsConfig(phi=5.0, thop=0.5)
+    deployment = install_fds(network, layout, cfg)
+    return deployment, layout, tracer, network

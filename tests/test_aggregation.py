@@ -1,0 +1,154 @@
+"""Tests for cluster-based in-network aggregation (Section 6 extension)."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.aggregation.combiners import Aggregate, AggregateKind
+from repro.aggregation.service import AggregationConfig, attach_aggregation
+from repro.errors import ConfigurationError
+from repro.failure.injection import FailureInjector
+from repro.topology.generators import corridor_field
+from repro.topology.placement import cluster_disk_placement
+
+from tests.fds_helpers import deploy
+
+
+class TestAggregate:
+    def test_single_and_result(self):
+        a = Aggregate.single(AggregateKind.AVG, 1, 10.0)
+        assert a.result() == 10.0
+        assert a.contributors == frozenset({1})
+
+    def test_merge_is_idempotent(self):
+        a = Aggregate.single(AggregateKind.SUM, 1, 10.0)
+        b = Aggregate.single(AggregateKind.SUM, 2, 5.0)
+        merged = a.merge(b).merge(b).merge(a)
+        assert merged.result() == 15.0
+        assert merged.contributors == frozenset({1, 2})
+
+    def test_merge_commutative_associative(self):
+        parts = [
+            Aggregate.single(AggregateKind.MAX, i, float(i * 3)) for i in range(5)
+        ]
+        left = parts[0]
+        for p in parts[1:]:
+            left = left.merge(p)
+        right = parts[4]
+        for p in reversed(parts[:4]):
+            right = p.merge(right)
+        assert left.values == right.values
+        assert left.result() == 12.0
+
+    @pytest.mark.parametrize(
+        "kind,expected",
+        [
+            (AggregateKind.MIN, 1.0),
+            (AggregateKind.MAX, 4.0),
+            (AggregateKind.SUM, 10.0),
+            (AggregateKind.COUNT, 4.0),
+            (AggregateKind.AVG, 2.5),
+        ],
+    )
+    def test_all_kinds(self, kind, expected):
+        agg = Aggregate(kind=kind, values={1: 1.0, 2: 2.0, 3: 3.0, 4: 4.0})
+        assert agg.result() == pytest.approx(expected)
+
+    def test_without_drops_contributors(self):
+        agg = Aggregate(AggregateKind.SUM, {1: 1.0, 2: 2.0, 3: 3.0})
+        reduced = agg.without(frozenset({2}))
+        assert reduced.result() == 4.0
+
+    def test_empty_results(self):
+        assert Aggregate.empty(AggregateKind.SUM).result() == 0.0
+        assert Aggregate.empty(AggregateKind.COUNT).result() == 0.0
+        assert math.isnan(Aggregate.empty(AggregateKind.AVG).result())
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Aggregate.empty(AggregateKind.MIN).merge(
+                Aggregate.empty(AggregateKind.MAX)
+            )
+
+
+class TestAggregationService:
+    @staticmethod
+    def _backbone_component(layout, head):
+        """Heads reachable from ``head`` over boundaries (undirected)."""
+        component = {head}
+        frontier = [head]
+        while frontier:
+            current = frontier.pop()
+            for owner, peer in layout.boundaries:
+                for a, b in ((owner, peer), (peer, owner)):
+                    if a == current and b not in component:
+                        component.add(b)
+                        frontier.append(b)
+        return component
+
+    def _run(self, rng, executions=5, crash=None, p=0.05):
+        placement = corridor_field(3, 20, 100.0, rng)
+        deployment, layout, _tracer, network = deploy(placement, p=p, seed=3)
+        values = {int(n): 10.0 + (int(n) % 5) for n in network.nodes}
+        services = attach_aggregation(
+            deployment, lambda nid, k: values[int(nid)],
+            AggregationConfig(kind=AggregateKind.AVG),
+        )
+        if crash is not None:
+            injector = FailureInjector(network, deployment.config)
+            victim = sorted(
+                layout.clusters[layout.heads[crash]].ordinary_members
+            )[0]
+            injector.crash_before_execution(victim, 1)
+        deployment.run_executions(executions)
+        return network, layout, services, values
+
+    def _component_truth(self, network, layout, values, head):
+        """Expected aggregate over the backbone component of ``head``.
+
+        Clusters with no boundary to the component (e.g. loss-of-density
+        singletons) cannot contribute -- the paper defers bridging them to
+        an inter-cluster routing protocol.
+        """
+        component = self._backbone_component(layout, head)
+        nodes = [
+            n
+            for h in component
+            for n in layout.clusters[h].members
+            if network.nodes[n].is_operational
+        ]
+        return statistics.mean(values[int(n)] for n in nodes), len(nodes)
+
+    def test_heads_converge_to_component_average(self, rng):
+        network, layout, services, values = self._run(rng)
+        main = layout.heads[0]
+        truth, count = self._component_truth(network, layout, values, main)
+        for head in self._backbone_component(layout, main):
+            assert services[head].current_value() == pytest.approx(truth)
+            assert services[head].contributor_count() == count
+
+    def test_members_read_global_value(self, rng):
+        network, layout, services, values = self._run(rng)
+        truth, _count = self._component_truth(
+            network, layout, values, layout.heads[0]
+        )
+        member = sorted(layout.clusters[layout.heads[0]].ordinary_members)[2]
+        assert services[member].current_value() == pytest.approx(truth)
+
+    def test_failed_node_excluded(self, rng):
+        network, layout, services, values = self._run(rng, crash=1)
+        crashed = network.crashed_ids()[0]
+        main = layout.heads[0]
+        truth, _count = self._component_truth(network, layout, values, main)
+        for head in self._backbone_component(layout, main):
+            agg = services[head].last_seen
+            assert crashed not in agg.contributors
+            assert agg.result() == pytest.approx(truth)
+
+    def test_message_sharing_cost_is_small(self, rng):
+        network, _layout, services, _values = self._run(rng)
+        extra = sum(s.shares_sent for s in services.values())
+        # Boundary count * executions is the ceiling for extra messages;
+        # far less than one message per node per execution.
+        assert extra <= 4 * 5 * 2

@@ -1,0 +1,57 @@
+"""Tests for the average-case (position-integrated) measures."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.expected import (
+    expected_cluster_false_detections,
+    expected_false_detection,
+    expected_incompleteness,
+)
+from repro.analysis.false_detection import p_false_detection
+from repro.analysis.incompleteness import p_incompleteness
+
+
+class TestExpectedMeasures:
+    @pytest.mark.parametrize("n,p", [(50, 0.5), (50, 0.3), (100, 0.5)])
+    def test_below_worst_case(self, n, p):
+        assert expected_false_detection(n, p) < p_false_detection(n, p)
+        assert expected_incompleteness(n, p) < p_incompleteness(n, p)
+
+    @pytest.mark.parametrize("n,p", [(50, 0.5), (100, 0.4)])
+    def test_above_best_case(self, n, p):
+        assert expected_false_detection(n, p) > p_false_detection(
+            n, p, distance=0.0
+        )
+
+    def test_matches_direct_monte_carlo(self):
+        # Sample member positions, average the closed form.
+        n, p = 50, 0.5
+        rng = np.random.default_rng(0)
+        d = 100.0 * np.sqrt(rng.uniform(size=40_000))
+        mc = float(
+            np.mean([p_false_detection(n, p, distance=float(x)) for x in d[:4000]])
+        )
+        quad = expected_false_detection(n, p)
+        assert quad == pytest.approx(mc, rel=0.1)
+
+    def test_zero_loss(self):
+        assert expected_false_detection(50, 0.0) == 0.0
+        assert expected_incompleteness(50, 0.0) == 0.0
+
+    def test_monotone_in_p(self):
+        values = [expected_false_detection(50, p) for p in (0.1, 0.3, 0.5)]
+        assert values[0] < values[1] < values[2]
+
+    def test_cluster_rate_linearity(self):
+        n, p = 50, 0.4
+        assert expected_cluster_false_detections(n, p) == pytest.approx(
+            (n - 1) * expected_false_detection(n, p)
+        )
+
+    def test_maintenance_planning_magnitude(self):
+        # Even at the harshest grid point (N=50, p=0.5): about one false
+        # detection per cluster per fifty executions, and effectively zero
+        # in the paper's nominal regime.
+        assert expected_cluster_false_detections(50, 0.5) < 5e-2
+        assert expected_cluster_false_detections(100, 0.1) < 1e-12

@@ -1,0 +1,180 @@
+"""Tests for the Section 5 closed-form measures (Figures 5-7)."""
+
+import math
+
+import pytest
+
+from repro.analysis.ch_false_detection import (
+    p_false_detection_on_ch,
+    p_false_detection_on_ch_log10,
+)
+from repro.analysis.false_detection import (
+    p_false_detection,
+    p_false_detection_literal,
+    p_false_detection_log10,
+)
+from repro.analysis.geometry import (
+    cluster_area,
+    neighborhood_area,
+    overlap_fraction,
+    worst_case_fraction,
+)
+from repro.analysis.incompleteness import (
+    p_incompleteness,
+    p_incompleteness_literal,
+    p_incompleteness_log10,
+)
+from repro.analysis.sweep import PAPER_N_VALUES, PAPER_P_GRID
+from repro.errors import AnalysisError, ConfigurationError
+
+
+class TestGeometry:
+    def test_au(self):
+        assert cluster_area(100.0) == pytest.approx(math.pi * 1e4)
+
+    def test_an_worst_case(self):
+        expected = 1e4 * (2 * math.pi / 3 - math.sqrt(3) / 2)
+        assert neighborhood_area(100.0) == pytest.approx(expected)
+
+    def test_an_center_equals_au(self):
+        assert neighborhood_area(0.0) == pytest.approx(cluster_area())
+
+    def test_member_must_be_inside_cluster(self):
+        with pytest.raises(AnalysisError):
+            neighborhood_area(150.0)
+
+    def test_fraction_matches_paper_value(self):
+        assert worst_case_fraction() == pytest.approx(0.391, abs=5e-4)
+        assert overlap_fraction(100.0) == pytest.approx(worst_case_fraction())
+
+
+class TestFalseDetection:
+    @pytest.mark.parametrize("n", PAPER_N_VALUES)
+    @pytest.mark.parametrize("p", [0.05, 0.2, 0.35, 0.5])
+    def test_literal_equals_closed_form(self, n, p):
+        literal = p_false_detection_literal(n, p)
+        closed = p_false_detection(n, p)
+        if closed > 0:
+            assert literal == pytest.approx(closed, rel=1e-9)
+        else:
+            assert literal == 0.0
+
+    def test_known_value_n50_p05(self):
+        # p^2 (1 - a/4)^48 at p=0.5.
+        a = worst_case_fraction()
+        expected = 0.25 * (1 - a * 0.25) ** 48
+        assert p_false_detection(50, 0.5) == pytest.approx(expected)
+
+    def test_paper_magnitudes(self):
+        # Figure 5's axis spans [1e-25, 1]; our curves must live there.
+        assert 1e-4 < p_false_detection(50, 0.5) < 1e-2
+        assert 1e-25 < p_false_detection(100, 0.05) < 1e-18
+
+    def test_zero_loss_means_perfect_accuracy(self):
+        assert p_false_detection(50, 0.0) == 0.0
+        assert p_false_detection_log10(50, 0.0) == -math.inf
+
+    def test_interior_member_safer_than_edge(self):
+        edge = p_false_detection(50, 0.3)
+        interior = p_false_detection(50, 0.3, distance=20.0)
+        assert interior < edge
+
+    def test_center_member(self):
+        # At d=0 every other member is a neighbor: maximal witnessing.
+        center = p_false_detection(50, 0.3, distance=0.0)
+        assert center < p_false_detection(50, 0.3, distance=50.0)
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigurationError):
+            p_false_detection(1, 0.1)
+        with pytest.raises(ConfigurationError):
+            p_false_detection(50, 1.2)
+
+
+class TestChFalseDetection:
+    def test_known_value(self):
+        # p^3 (p(2-p))^(N-2)
+        expected = 0.125 * (0.5 * 1.5) ** 48
+        assert p_false_detection_on_ch(50, 0.5) == pytest.approx(expected)
+
+    def test_paper_claims(self):
+        assert p_false_detection_on_ch(50, 0.5) < 1e-6
+        assert p_false_detection_on_ch_log10(100, 0.05) < -100.0
+
+    def test_log10_consistent_with_linear(self):
+        log10_value = p_false_detection_on_ch_log10(100, 0.05)
+        assert math.isfinite(log10_value)
+        assert p_false_detection_on_ch(100, 0.05) == pytest.approx(
+            10.0**log10_value, rel=1e-9
+        )
+
+    def test_linear_underflows_to_zero_below_float_range(self):
+        # At N=320, p=0.05 the measure sits below 1e-307: the linear form
+        # clamps to 0 while the log form stays exact.
+        assert p_false_detection_on_ch_log10(320, 0.05) < -307
+        assert p_false_detection_on_ch(320, 0.05) == 0.0
+
+    def test_dch_offset_increases_risk(self):
+        centered = p_false_detection_on_ch(50, 0.4)
+        offset = p_false_detection_on_ch(50, 0.4, dch_distance=80.0)
+        assert offset > centered
+
+    def test_ch_riskier_than_dch_everywhere(self):
+        # The paper's "a bit surprising" observation, pointwise.
+        for n in PAPER_N_VALUES:
+            for p in PAPER_P_GRID:
+                assert p_false_detection(n, p) > p_false_detection_on_ch(n, p)
+
+
+class TestIncompleteness:
+    @pytest.mark.parametrize("n", PAPER_N_VALUES)
+    @pytest.mark.parametrize("p", [0.05, 0.25, 0.5])
+    def test_literal_equals_closed_form(self, n, p):
+        literal = p_incompleteness_literal(n, p)
+        closed = p_incompleteness(n, p)
+        if closed > 0:
+            assert literal == pytest.approx(closed, rel=1e-9)
+        else:
+            assert literal == 0.0
+
+    def test_known_value(self):
+        a = worst_case_fraction()
+        expected = 0.5 * (1 - a * 0.125) ** 48
+        assert p_incompleteness(50, 0.5) == pytest.approx(expected)
+
+    def test_bounded_by_p(self):
+        # Peer forwarding can only help: P^ <= p always.
+        for n in PAPER_N_VALUES:
+            for p in PAPER_P_GRID:
+                assert p_incompleteness(n, p) <= p
+
+    def test_density_shrinkage(self):
+        assert p_incompleteness(100, 0.05) < 1e-4 * p_incompleteness(50, 0.05)
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize(
+        "measure",
+        [p_false_detection, p_false_detection_on_ch, p_incompleteness],
+    )
+    def test_increasing_in_p(self, measure):
+        for n in PAPER_N_VALUES:
+            log_values = []
+            for p in PAPER_P_GRID:
+                if measure is p_false_detection:
+                    log_values.append(p_false_detection_log10(n, p))
+                elif measure is p_false_detection_on_ch:
+                    log_values.append(p_false_detection_on_ch_log10(n, p))
+                else:
+                    log_values.append(p_incompleteness_log10(n, p))
+            assert all(a < b for a, b in zip(log_values, log_values[1:]))
+
+    @pytest.mark.parametrize(
+        "log_measure",
+        [p_false_detection_log10, p_false_detection_on_ch_log10,
+         p_incompleteness_log10],
+    )
+    def test_decreasing_in_n(self, log_measure):
+        for p in PAPER_P_GRID:
+            values = [log_measure(n, p) for n in (25, 50, 75, 100, 150)]
+            assert all(a > b for a, b in zip(values, values[1:]))

@@ -1,0 +1,125 @@
+"""Tests for the trace auditor: clean runs audit clean; injected
+violations are caught."""
+
+import pytest
+
+from repro.audit.invariants import (
+    AuditFinding,
+    audit_crash_silence,
+    audit_detection_timing,
+    audit_refutation_soundness,
+    audit_round_structure,
+    run_all_audits,
+)
+from repro.failure.injection import FailureInjector
+from repro.fds import events as ev
+from repro.fds.config import FdsConfig
+from repro.sim.trace import RecordingTracer
+from repro.topology.generators import corridor_field
+from repro.topology.placement import cluster_disk_placement
+
+from tests.fds_helpers import deploy
+
+
+@pytest.fixture(scope="module")
+def audited_run():
+    import numpy as np
+
+    rng = np.random.default_rng(12345)
+    placement = corridor_field(2, 20, 100.0, rng)
+    deployment, layout, tracer, network = deploy(placement, p=0.2, seed=6)
+    injector = FailureInjector(network, deployment.config)
+    victim = sorted(layout.clusters[0].ordinary_members)[2]
+    event = injector.crash_before_execution(victim, execution=1)
+    deployment.run_executions(4)
+    return deployment, tracer, {victim: event.time}
+
+
+class TestCleanRunsAuditClean:
+    def test_full_audit_empty(self, audited_run):
+        deployment, tracer, crash_times = audited_run
+        findings = run_all_audits(
+            tracer, deployment.config, crash_times=crash_times
+        )
+        assert findings == []
+
+    def test_each_audit_individually(self, audited_run):
+        deployment, tracer, crash_times = audited_run
+        assert audit_crash_silence(tracer, crash_times) == []
+        assert audit_detection_timing(tracer, deployment.config) == []
+        assert audit_refutation_soundness(tracer) == []
+        assert audit_round_structure(tracer, deployment.config) == []
+
+
+class TestViolationsCaught:
+    def test_crash_silence_violation(self):
+        tracer = RecordingTracer()
+        tracer.record(5.0, "radio.tx", node=3)
+        findings = audit_crash_silence(tracer, {3: 2.0})
+        assert len(findings) == 1
+        assert findings[0].audit == "crash-silence"
+        assert findings[0].node == 3
+
+    def test_crash_silence_allows_pre_crash_tx(self):
+        tracer = RecordingTracer()
+        tracer.record(1.0, "radio.tx", node=3)
+        assert audit_crash_silence(tracer, {3: 2.0}) == []
+
+    def test_detection_timing_violation(self):
+        tracer = RecordingTracer()
+        config = FdsConfig(phi=10.0, thop=0.5)
+        # Legal: offset 1.0 (R-3) within some interval.
+        tracer.record(21.0, ev.DETECTION, node=0, target=5, execution=2)
+        # Illegal: offset 4.2.
+        tracer.record(34.2, ev.DETECTION, node=0, target=6, execution=3)
+        findings = audit_detection_timing(tracer, config)
+        assert len(findings) == 1
+        assert "4.2" in findings[0].description
+
+    def test_refutation_without_detection(self):
+        tracer = RecordingTracer()
+        tracer.record(3.0, ev.REFUTATION, node=1, target=9)
+        findings = audit_refutation_soundness(tracer)
+        assert len(findings) == 1
+
+    def test_refutation_before_detection(self):
+        tracer = RecordingTracer()
+        tracer.record(1.0, ev.REFUTATION, node=1, target=9)
+        tracer.record(2.0, ev.DETECTION, node=0, target=9, execution=0)
+        assert len(audit_refutation_soundness(tracer)) == 1
+
+    def test_refutation_after_detection_clean(self):
+        tracer = RecordingTracer()
+        tracer.record(1.0, ev.DETECTION, node=0, target=9, execution=0)
+        tracer.record(2.0, ev.REFUTATION, node=1, target=9)
+        assert audit_refutation_soundness(tracer) == []
+
+    def test_round_structure_violation(self):
+        tracer = RecordingTracer()
+        config = FdsConfig(phi=30.0, thop=0.5)
+        tracer.record(29.0, "radio.tx", node=4)  # deep in the silent tail
+        findings = audit_round_structure(tracer, config)
+        assert len(findings) == 1
+
+    def test_round_structure_skipped_when_whole_interval_active(self):
+        tracer = RecordingTracer()
+        config = FdsConfig(phi=4.0, thop=0.5)  # allowance exceeds phi
+        tracer.record(3.9, "radio.tx", node=4)
+        assert audit_round_structure(tracer, config) == []
+
+
+class TestSleepRunsAuditClean:
+    def test_power_managed_run(self, rng):
+        from repro.power import DutyCycleSchedule, install_power_management
+
+        placement = cluster_disk_placement(18, 100.0, rng)
+        cfg = FdsConfig(phi=8.0, thop=0.5)
+        deployment, _layout, tracer, _network = deploy(
+            placement, p=0.05, seed=4, fds_config=cfg
+        )
+        install_power_management(
+            deployment, DutyCycleSchedule(awake=2, asleep_count=1)
+        )
+        deployment.run_executions(6)
+        findings = run_all_audits(tracer, cfg)
+        assert findings == []

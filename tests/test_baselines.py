@@ -1,0 +1,179 @@
+"""Tests for the baseline failure detectors."""
+
+import pytest
+
+from repro.baselines.centralized import CentralizedConfig, install_centralized
+from repro.baselines.flooding import FloodingConfig, install_flooding
+from repro.baselines.gossip import GossipConfig, install_gossip
+from repro.baselines.swim import SwimConfig, install_swim
+from repro.errors import ConfigurationError
+from repro.metrics.properties import evaluate_histories
+from repro.sim.network import NetworkConfig, build_network
+from repro.topology.generators import multi_cluster_field
+from repro.topology.placement import cluster_disk_placement
+
+
+def lossless(placement, seed=0):
+    return build_network(placement, NetworkConfig(loss_probability=0.0, seed=seed))
+
+
+class TestGossip:
+    def test_detects_crash(self, rng):
+        placement = cluster_disk_placement(12, 100.0, rng)
+        network = lossless(placement)
+        deployment = install_gossip(
+            network, GossipConfig(interval=1.0, fail_after=4.0), until=30.0
+        )
+        network.sim.run_until(5.0)
+        network.crash(4)
+        deployment.run_until(30.0)
+        report = evaluate_histories(network, deployment.histories())
+        assert report.completeness[4] == 1.0
+        assert report.is_accurate
+
+    def test_quiet_run_accurate(self, rng):
+        placement = cluster_disk_placement(10, 100.0, rng)
+        network = lossless(placement)
+        deployment = install_gossip(network, until=15.0)
+        deployment.run_until(15.0)
+        report = evaluate_histories(network, deployment.histories())
+        assert report.is_accurate
+
+    def test_counter_refutes_false_suspicion(self, rng):
+        # Under heavy loss a node can be falsely suspected; a later
+        # counter increase must clear it.
+        placement = cluster_disk_placement(8, 100.0, rng)
+        network = build_network(
+            placement, NetworkConfig(loss_probability=0.6, seed=13)
+        )
+        deployment = install_gossip(
+            network, GossipConfig(interval=1.0, fail_after=3.0), until=60.0
+        )
+        deployment.run_until(60.0)
+        refutations = sum(
+            p.history.refuted_total for p in deployment.protocols.values()
+        )
+        assert refutations >= 0  # bookkeeping exists; exact count is noisy
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            GossipConfig(interval=2.0, fail_after=1.0)
+
+
+class TestSwim:
+    def test_detects_crash_single_cluster(self, rng):
+        placement = cluster_disk_placement(12, 100.0, rng)
+        network = lossless(placement)
+        deployment = install_swim(
+            network, SwimConfig(period=1.0, ack_timeout=0.2), until=60.0
+        )
+        network.sim.run_until(3.0)
+        network.crash(5)
+        deployment.run_until(60.0)
+        report = evaluate_histories(network, deployment.histories())
+        assert report.completeness[5] > 0.9
+
+    def test_global_membership_false_suspects_far_nodes(self, rng):
+        # SWIM's wired assumption breaks on a multi-hop field: nodes probe
+        # members out of radio range and declare them failed.
+        placement = multi_cluster_field(3, 10, 100.0, rng)
+        network = lossless(placement)
+        deployment = install_swim(
+            network, SwimConfig(period=1.0, ack_timeout=0.2), until=25.0
+        )
+        deployment.run_until(25.0)
+        report = evaluate_histories(network, deployment.histories())
+        assert not report.is_accurate
+
+    def test_neighbor_scope_fixes_accuracy(self, rng):
+        placement = multi_cluster_field(3, 10, 100.0, rng)
+        network = lossless(placement)
+        deployment = install_swim(
+            network,
+            SwimConfig(period=1.0, ack_timeout=0.2),
+            until=25.0,
+            membership_scope="neighbors",
+        )
+        deployment.run_until(25.0)
+        report = evaluate_histories(network, deployment.histories())
+        assert report.is_accurate
+
+    def test_bad_scope_rejected(self, rng):
+        placement = cluster_disk_placement(5, 100.0, rng)
+        network = lossless(placement)
+        with pytest.raises(ConfigurationError):
+            install_swim(network, membership_scope="everything")
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SwimConfig(period=0.3, ack_timeout=0.2)
+
+
+class TestFlooding:
+    def test_detects_and_floods(self, rng):
+        placement = multi_cluster_field(3, 12, 100.0, rng)
+        network = lossless(placement)
+        deployment = install_flooding(
+            network, FloodingConfig(interval=1.0, miss_threshold=3), until=30.0
+        )
+        network.sim.run_until(5.0)
+        victim = sorted(network.operational_ids())[7]
+        network.crash(victim)
+        deployment.run_until(30.0)
+        report = evaluate_histories(network, deployment.histories())
+        assert report.completeness[victim] == 1.0
+
+    def test_message_cost_exceeds_fds_style(self, rng):
+        # Flooding relays every announcement everywhere: total messages
+        # grow with the whole field per failure.
+        placement = multi_cluster_field(3, 12, 100.0, rng)
+        network = lossless(placement)
+        deployment = install_flooding(network, until=20.0)
+        network.sim.run_until(5.0)
+        network.crash(10)
+        deployment.run_until(20.0)
+        announcements = sum(
+            p.announcements_sent for p in deployment.protocols.values()
+        )
+        assert announcements >= len(network.nodes) * 0.8
+
+    def test_self_announcement_ignored(self, rng):
+        # A false announcement naming an alive node must not convince it.
+        placement = cluster_disk_placement(8, 100.0, rng)
+        network = build_network(
+            placement, NetworkConfig(loss_probability=0.5, seed=21)
+        )
+        deployment = install_flooding(
+            network, FloodingConfig(interval=1.0, miss_threshold=2), until=40.0
+        )
+        deployment.run_until(40.0)
+        for nid, protocol in deployment.protocols.items():
+            assert nid not in protocol.history
+
+
+class TestCentralized:
+    def test_detects_in_range_crash(self, rng):
+        placement = cluster_disk_placement(10, 100.0, rng)
+        network = lossless(placement)
+        deployment = install_centralized(
+            network, station=0,
+            config=CentralizedConfig(interval=1.0, miss_threshold=3),
+            until=20.0,
+        )
+        network.sim.run_until(5.0)
+        network.crash(4)
+        deployment.run_until(20.0)
+        assert 4 in deployment.station_history()
+
+    def test_coverage_wall(self, rng):
+        # On a multi-cluster field most nodes are invisible to the station.
+        placement = multi_cluster_field(4, 15, 100.0, rng)
+        network = lossless(placement)
+        deployment = install_centralized(network, station=0, until=5.0)
+        assert deployment.coverage() < 0.6
+
+    def test_unknown_station_rejected(self, rng):
+        placement = cluster_disk_placement(5, 100.0, rng)
+        network = lossless(placement)
+        with pytest.raises(ConfigurationError):
+            install_centralized(network, station=999)

@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out and "Figure 7" in out
+        assert "N=100" in out
+
+    def test_claims_pass(self, capsys):
+        assert main(["claims"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out
+
+    def test_validate_fast(self, capsys):
+        assert main(["validate", "--n", "30", "--p", "0.5",
+                     "--trials", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "in-CI=True" in out
+
+    def test_scenario(self, capsys):
+        code = main([
+            "scenario", "--clusters", "2", "--members", "12",
+            "--executions", "3", "--crashes", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean_completeness" in out
+
+    def test_reachability(self, capsys):
+        assert main(["reachability", "--p", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "dch_distance" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-command"])

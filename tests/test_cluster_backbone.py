@@ -1,0 +1,109 @@
+"""Tests for the backbone-graph utilities."""
+
+import pytest
+
+from repro.cluster.backbone import (
+    backbone_components,
+    backbone_diameter,
+    backbone_distances,
+    backbone_edges,
+    backbone_neighbors,
+    is_backbone_connected,
+)
+from repro.cluster.geometric import build_clusters
+from repro.cluster.state import Boundary, Cluster, ClusterLayout
+from repro.errors import ClusteringError
+from repro.topology.generators import corridor_field
+from repro.topology.graph import UnitDiskGraph
+
+
+def chain_layout():
+    """Three clusters in a chain: 0 - 10 - 20 (boundaries owned low)."""
+    clusters = [
+        Cluster(head=0, members=frozenset({0, 1, 2})),
+        Cluster(head=10, members=frozenset({10, 11, 12})),
+        Cluster(head=20, members=frozenset({20, 21})),
+    ]
+    boundaries = [
+        Boundary(owner=0, peer=10, gateway=1),
+        Boundary(owner=10, peer=20, gateway=11),
+    ]
+    return ClusterLayout(clusters, boundaries)
+
+
+def split_layout():
+    clusters = [
+        Cluster(head=0, members=frozenset({0, 1})),
+        Cluster(head=10, members=frozenset({10, 11})),
+        Cluster(head=20, members=frozenset({20, 21})),
+    ]
+    boundaries = [Boundary(owner=0, peer=10, gateway=1)]
+    return ClusterLayout(clusters, boundaries)
+
+
+class TestBackboneStructure:
+    def test_edges_are_undirected_and_deduped(self):
+        layout = chain_layout()
+        assert backbone_edges(layout) == frozenset({(0, 10), (10, 20)})
+
+    def test_neighbors(self):
+        layout = chain_layout()
+        assert backbone_neighbors(layout) == {
+            0: (10,), 10: (0, 20), 20: (10,)
+        }
+
+    def test_components_connected(self):
+        assert backbone_components(chain_layout()) == [frozenset({0, 10, 20})]
+        assert is_backbone_connected(chain_layout())
+
+    def test_components_split(self):
+        components = backbone_components(split_layout())
+        assert components == [frozenset({0, 10}), frozenset({20})]
+        assert not is_backbone_connected(split_layout())
+
+
+class TestDistances:
+    def test_bfs_hops(self):
+        distances = backbone_distances(chain_layout(), 0)
+        assert distances == {0: 0, 10: 1, 20: 2}
+
+    def test_unknown_source(self):
+        with pytest.raises(ClusteringError):
+            backbone_distances(chain_layout(), 99)
+
+    def test_unreachable_absent(self):
+        distances = backbone_distances(split_layout(), 0)
+        assert 20 not in distances
+
+    def test_diameter(self):
+        assert backbone_diameter(chain_layout()) == 2
+        assert backbone_diameter(split_layout()) is None
+
+
+class TestOnRealLayouts:
+    def test_corridor_diameter_matches_length(self, rng):
+        placement = corridor_field(4, 35, 100.0, rng)
+        layout = build_clusters(UnitDiskGraph(placement, 100.0))
+        if is_backbone_connected(layout) and len(layout.heads) == 4:
+            assert backbone_diameter(layout) == 3
+
+    def test_diameter_bounds_dissemination_time(self, rng):
+        # The structural claim the FDS relies on: news crosses one
+        # boundary per execution, so diameter executions suffice.
+        from repro.failure.injection import FailureInjector
+        from tests.fds_helpers import deploy
+
+        placement = corridor_field(3, 30, 100.0, rng)
+        deployment, layout, _tracer, network = deploy(placement)
+        if not is_backbone_connected(layout):
+            pytest.skip("sparse draw: backbone not connected")
+        diameter = backbone_diameter(layout)
+        injector = FailureInjector(network, deployment.config)
+        victim = sorted(
+            layout.clusters[layout.heads[0]].ordinary_members
+        )[0]
+        injector.crash_before_execution(victim, execution=1)
+        deployment.run_executions(1 + diameter + 1)
+        for nid in network.operational_ids():
+            if layout.is_clustered(nid):
+                assert victim in deployment.protocols[nid].history

@@ -1,0 +1,110 @@
+"""Tests for deputy and gateway selection."""
+
+import pytest
+
+from repro.cluster.deputies import (
+    rank_deputy_candidates,
+    select_deputies,
+    takeover_order,
+)
+from repro.cluster.gateways import (
+    gateway_candidates,
+    rank_gateway_candidates,
+    select_boundary,
+)
+from repro.util.geometry import Vec2
+
+
+POSITIONS = {
+    0: Vec2(0, 0),      # head
+    1: Vec2(90, 0),     # far
+    2: Vec2(10, 0),     # near -> best deputy
+    3: Vec2(50, 0),     # middle
+    10: Vec2(160, 0),   # peer head
+}
+DEGREES = {1: 3, 2: 3, 3: 3}
+
+
+class TestDeputies:
+    def test_ranked_by_distance(self):
+        ranked = rank_deputy_candidates(
+            0, frozenset({0, 1, 2, 3}), POSITIONS, DEGREES
+        )
+        assert ranked == (2, 3, 1)
+
+    def test_degree_breaks_distance_ties(self):
+        positions = {0: Vec2(0, 0), 1: Vec2(10, 0), 2: Vec2(-10, 0)}
+        degrees = {1: 1, 2: 5}
+        ranked = rank_deputy_candidates(
+            0, frozenset({0, 1, 2}), positions, degrees
+        )
+        assert ranked == (2, 1)
+
+    def test_nid_final_tiebreak(self):
+        positions = {0: Vec2(0, 0), 5: Vec2(10, 0), 3: Vec2(-10, 0)}
+        ranked = rank_deputy_candidates(
+            0, frozenset({0, 3, 5}), positions, {3: 1, 5: 1}
+        )
+        assert ranked == (3, 5)
+
+    def test_select_caps_count(self):
+        deputies = select_deputies(
+            0, frozenset({0, 1, 2, 3}), POSITIONS, DEGREES, count=2
+        )
+        assert deputies == (2, 3)
+        assert select_deputies(
+            0, frozenset({0, 1}), POSITIONS, DEGREES, count=5
+        ) == (1,)
+
+    def test_takeover_order_passthrough(self):
+        assert takeover_order((4, 7)) == (4, 7)
+
+
+class TestGateways:
+    def test_candidates_exclude_head(self):
+        candidates = gateway_candidates(
+            frozenset({0, 1, 2, 3}), 0, frozenset({0, 1, 3})
+        )
+        assert candidates == (1, 3)
+
+    def test_ranking_prefers_central_overlap(self):
+        # Node 3 at x=50 has worst-link 110 to peer(160); node 1 at x=90
+        # has worst-link 90 -> node 1 ranks first.
+        ranked = rank_gateway_candidates((1, 3), 0, 10, POSITIONS)
+        assert ranked == (1, 3)
+
+    def test_select_boundary_roles(self):
+        boundary = select_boundary(
+            owner_head=0,
+            peer_head=10,
+            owner_members=frozenset({0, 1, 2, 3}),
+            peer_head_neighbors=frozenset({1, 3}),
+            positions=POSITIONS,
+            max_backups=1,
+        )
+        assert boundary is not None
+        assert boundary.gateway == 1
+        assert boundary.backups == (3,)
+
+    def test_select_boundary_none_when_no_candidates(self):
+        assert (
+            select_boundary(
+                owner_head=0,
+                peer_head=10,
+                owner_members=frozenset({0, 2}),
+                peer_head_neighbors=frozenset({1}),
+                positions=POSITIONS,
+            )
+            is None
+        )
+
+    def test_zero_backups(self):
+        boundary = select_boundary(
+            owner_head=0,
+            peer_head=10,
+            owner_members=frozenset({0, 1, 3}),
+            peer_head_neighbors=frozenset({1, 3}),
+            positions=POSITIONS,
+            max_backups=0,
+        )
+        assert boundary is not None and boundary.backups == ()

@@ -1,0 +1,134 @@
+"""Tests for the distributed cluster-formation protocol."""
+
+import pytest
+
+from repro.cluster.formation import (
+    FormationConfig,
+    extract_layout,
+    install_formation,
+    run_formation,
+)
+from repro.cluster.geometric import build_clusters
+from repro.errors import ClusteringError
+from repro.sim.network import NetworkConfig, build_network
+from repro.topology.generators import multi_cluster_field
+from repro.topology.graph import UnitDiskGraph
+from repro.topology.placement import uniform_rect_placement
+from repro.types import NodeRole
+
+
+def lossless_network(placement, seed=0):
+    return build_network(
+        placement, NetworkConfig(loss_probability=0.0, seed=seed)
+    )
+
+
+class TestFormationConfig:
+    def test_iteration_duration(self):
+        cfg = FormationConfig(thop=0.5, iterations=2)
+        assert cfg.iteration_duration == 3.0
+        assert cfg.total_duration() == 6.5
+
+    def test_thop_must_exceed_medium_delay(self, rng):
+        placement = multi_cluster_field(2, 5, 100.0, rng)
+        network = build_network(
+            placement, NetworkConfig(loss_probability=0.0, max_delay=0.6)
+        )
+        with pytest.raises(ClusteringError):
+            run_formation(network, FormationConfig(thop=0.5))
+
+
+class TestPerfectLinkConvergence:
+    def test_matches_oracle_partition(self, rng):
+        placement = multi_cluster_field(4, 20, 100.0, rng)
+        graph = UnitDiskGraph(placement, 100.0)
+        oracle = build_clusters(graph)
+        network = lossless_network(placement)
+        layout = run_formation(network, FormationConfig(thop=0.5, iterations=3))
+        assert layout.heads == oracle.heads
+        for head in layout.heads:
+            assert layout.clusters[head].members == oracle.clusters[head].members
+
+    def test_everyone_marked(self, rng):
+        placement = uniform_rect_placement(80, 400.0, 400.0, rng)
+        network = lossless_network(placement)
+        layout = run_formation(network, FormationConfig(thop=0.5, iterations=3))
+        graph = UnitDiskGraph(placement, 100.0)
+        from repro.topology.analysis import isolated_nodes
+
+        assert set(layout.unclustered) <= set(isolated_nodes(graph))
+
+    def test_gateways_assigned_where_clusters_meet(self, rng):
+        placement = multi_cluster_field(2, 25, 100.0, rng)
+        network = lossless_network(placement)
+        layout = run_formation(network, FormationConfig(thop=0.5, iterations=3))
+        assert len(layout.heads) == 2
+        assert layout.boundaries, "adjacent clusters should get a boundary"
+        for boundary in layout.boundaries.values():
+            graph = UnitDiskGraph(placement, 100.0)
+            for forwarder in boundary.all_forwarders:
+                assert graph.are_neighbors(forwarder, boundary.peer)
+
+    def test_deputies_announced(self, rng):
+        placement = multi_cluster_field(2, 20, 100.0, rng)
+        network = lossless_network(placement)
+        layout = run_formation(
+            network, FormationConfig(thop=0.5, iterations=2, deputy_count=2)
+        )
+        for cluster in layout.clusters.values():
+            if cluster.size > 2:
+                assert len(cluster.deputies) == 2
+
+
+class TestLossyFormation:
+    def test_f3_holds_under_loss(self, rng):
+        # Whatever the losses, extraction must never double-affiliate.
+        placement = uniform_rect_placement(120, 500.0, 500.0, rng)
+        network = build_network(
+            placement, NetworkConfig(loss_probability=0.3, seed=9)
+        )
+        layout = run_formation(network, FormationConfig(thop=0.5, iterations=4))
+        # ClusterLayout construction itself enforces F3; also check roles.
+        for nid in layout.clustered_nodes():
+            assert layout.role_of(nid) is not NodeRole.UNMARKED
+
+    def test_more_iterations_cover_more_nodes(self, rng):
+        placement = uniform_rect_placement(120, 500.0, 500.0, rng)
+
+        def coverage(iterations):
+            network = build_network(
+                placement, NetworkConfig(loss_probability=0.35, seed=4)
+            )
+            layout = run_formation(
+                network, FormationConfig(thop=0.5, iterations=iterations)
+            )
+            return len(layout.clustered_nodes())
+
+        assert coverage(5) >= coverage(1)
+
+    def test_adjacent_head_conflicts_resolved(self, rng):
+        # Under heavy loss two neighbors can both declare; RCC resignation
+        # must leave no two adjacent heads by the end.
+        placement = uniform_rect_placement(100, 400.0, 400.0, rng)
+        graph = UnitDiskGraph(placement, 100.0)
+        network = build_network(
+            placement, NetworkConfig(loss_probability=0.4, seed=77)
+        )
+        layout = run_formation(network, FormationConfig(thop=0.5, iterations=8))
+        heads = list(layout.heads)
+        for i, a in enumerate(heads):
+            for b in heads[i + 1:]:
+                assert not graph.are_neighbors(a, b), (
+                    f"adjacent heads {a}, {b} survived RCC"
+                )
+
+
+class TestExtraction:
+    def test_extract_before_run_is_all_unclustered(self, rng):
+        placement = multi_cluster_field(2, 10, 100.0, rng)
+        network = lossless_network(placement)
+        cfg = FormationConfig()
+        protocols = install_formation(network, cfg)
+        layout = extract_layout(protocols, cfg)
+        assert len(layout.clusters) == 0
+        assert len(layout.unclustered) == len(placement)

@@ -1,0 +1,118 @@
+"""Tests for the geometric (oracle) clustering."""
+
+import pytest
+
+from repro.cluster.geometric import build_clusters, lowest_id_partition
+from repro.topology.analysis import isolated_nodes
+from repro.topology.generators import multi_cluster_field
+from repro.topology.graph import UnitDiskGraph
+from repro.topology.placement import uniform_rect_placement
+from repro.util.geometry import Vec2
+
+
+def line_graph(spacing, count, radius=100.0):
+    return UnitDiskGraph(
+        {i: Vec2(spacing * i, 0.0) for i in range(count)}, radius
+    )
+
+
+class TestLowestIdPartition:
+    def test_single_clique(self):
+        g = UnitDiskGraph({i: Vec2(i * 10.0, 0) for i in range(5)}, 100.0)
+        partition = lowest_id_partition(g)
+        assert partition == {0: {0, 1, 2, 3, 4}}
+
+    def test_chain_iterates(self):
+        # 0-1-2-3-4 with only adjacent links: 0 claims 1; then 2 is lowest
+        # unmarked and claims 3; 4 left surrounded -> singleton head.
+        g = line_graph(spacing=80.0, count=5)
+        partition = lowest_id_partition(g)
+        assert partition == {0: {0, 1}, 2: {2, 3}, 4: {4}}
+
+    def test_surrounded_node_becomes_singleton_head(self):
+        # 2-1-0: 0 claims 1; 2's only neighbor is marked -> singleton.
+        g = UnitDiskGraph(
+            {0: Vec2(0, 0), 1: Vec2(80, 0), 2: Vec2(160, 0)}, 100.0
+        )
+        partition = lowest_id_partition(g)
+        assert partition == {0: {0, 1}, 2: {2}}
+
+    def test_isolated_nodes_not_clustered(self):
+        # Both nodes have degree 0: neither is clustered (paper: isolated
+        # nodes stay unaffiliated).
+        g = UnitDiskGraph({0: Vec2(0, 0), 9: Vec2(9999, 9999)}, 100.0)
+        assert lowest_id_partition(g) == {}
+        layout = build_clusters(g)
+        assert set(layout.unclustered) == {0, 9}
+
+    def test_heads_never_adjacent(self, rng):
+        placement = uniform_rect_placement(200, 600.0, 600.0, rng)
+        g = UnitDiskGraph(placement, 100.0)
+        heads = sorted(lowest_id_partition(g))
+        for i, a in enumerate(heads):
+            for b in heads[i + 1:]:
+                assert not g.are_neighbors(a, b)
+
+    def test_every_node_covered_or_isolated(self, rng):
+        placement = uniform_rect_placement(200, 600.0, 600.0, rng)
+        g = UnitDiskGraph(placement, 100.0)
+        partition = lowest_id_partition(g)
+        covered = set()
+        for members in partition.values():
+            covered |= members
+        assert covered | set(isolated_nodes(g)) == set(g.nodes())
+
+
+class TestBuildClusters:
+    def test_members_one_hop_from_head(self, rng):
+        placement = uniform_rect_placement(150, 500.0, 500.0, rng)
+        g = UnitDiskGraph(placement, 100.0)
+        layout = build_clusters(g)  # validates against the graph internally
+        for cluster in layout.clusters.values():
+            for member in cluster.ordinary_members:
+                assert g.are_neighbors(cluster.head, member)
+
+    def test_deputy_count_honored(self, rng):
+        placement = multi_cluster_field(2, 20, 100.0, rng)
+        g = UnitDiskGraph(placement, 100.0)
+        layout = build_clusters(g, deputy_count=3)
+        for cluster in layout.clusters.values():
+            assert len(cluster.deputies) == min(3, cluster.size - 1)
+
+    def test_boundaries_bidirectional_ownership(self, rng):
+        # In a lowest-ID world the low cluster claims the whole lens, so
+        # boundaries are owned by the lower head toward the higher one.
+        placement = multi_cluster_field(2, 30, 100.0, rng)
+        g = UnitDiskGraph(placement, 100.0)
+        layout = build_clusters(g)
+        assert (0, 1) in layout.boundaries
+        boundary = layout.boundaries[(0, 1)]
+        for forwarder in boundary.all_forwarders:
+            assert g.are_neighbors(forwarder, 1)
+            assert layout.cluster_of(forwarder).head == 0
+
+    def test_max_backups_honored(self, rng):
+        placement = multi_cluster_field(2, 40, 100.0, rng)
+        g = UnitDiskGraph(placement, 100.0)
+        for max_backups in (0, 1, 2):
+            layout = build_clusters(g, max_backups=max_backups)
+            for boundary in layout.boundaries.values():
+                assert boundary.backup_count <= max_backups
+
+    def test_deterministic(self, rng):
+        placement = uniform_rect_placement(100, 400.0, 400.0, rng)
+        g = UnitDiskGraph(placement, 100.0)
+        a = build_clusters(g)
+        b = build_clusters(g)
+        assert a.heads == b.heads
+        assert {h: c.members for h, c in a.clusters.items()} == {
+            h: c.members for h, c in b.clusters.items()
+        }
+
+    def test_dense_single_disk_is_one_cluster(self, rng):
+        from repro.topology.placement import cluster_disk_placement
+
+        placement = cluster_disk_placement(40, 100.0, rng)
+        layout = build_clusters(UnitDiskGraph(placement, 100.0))
+        assert layout.heads == (0,)
+        assert layout.clusters[0].size == 41

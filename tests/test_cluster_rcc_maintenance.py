@@ -1,0 +1,47 @@
+"""Tests for RCC conflict resolution and F4/F5 admission bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.maintenance import AdmissionBook
+from repro.cluster.rcc import declaration_backoff, should_resign
+
+
+class TestRcc:
+    def test_backoff_within_fraction(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            delay = declaration_backoff(rng, round_duration=0.5, fraction=0.4)
+            assert 0.0 <= delay < 0.2
+
+    def test_backoff_validates(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            declaration_backoff(rng, 0.5, fraction=0.95)
+
+    def test_lowest_id_keeps_cluster(self):
+        assert should_resign(my_id=7, heard_head_id=3)
+        assert not should_resign(my_id=3, heard_head_id=7)
+        assert not should_resign(my_id=3, heard_head_id=3)
+
+
+class TestAdmissionBook:
+    def test_drain_returns_pending_and_clears(self):
+        book = AdmissionBook()
+        book.note_unmarked_heartbeat(5)
+        book.note_unmarked_heartbeat(6)
+        book.note_unmarked_heartbeat(5)  # idempotent
+        assert book.pending_count == 2
+        admitted = book.drain(frozenset({1, 2}))
+        assert admitted == frozenset({5, 6})
+        assert book.pending_count == 0
+        assert book.admitted_total == 2
+
+    def test_existing_members_filtered(self):
+        book = AdmissionBook()
+        book.note_unmarked_heartbeat(5)
+        assert book.drain(frozenset({5})) == frozenset()
+        assert book.admitted_total == 0
+
+    def test_empty_drain(self):
+        assert AdmissionBook().drain(frozenset()) == frozenset()

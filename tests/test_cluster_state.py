@@ -1,0 +1,136 @@
+"""Tests for the cluster data model and its invariants."""
+
+import pytest
+
+from repro.cluster.state import Boundary, Cluster, ClusterLayout
+from repro.errors import ClusteringError
+from repro.topology.graph import UnitDiskGraph
+from repro.types import NodeRole
+from repro.util.geometry import Vec2
+
+
+def simple_layout():
+    c1 = Cluster(head=0, members=frozenset({0, 1, 2, 3}), deputies=(1, 2))
+    c2 = Cluster(head=10, members=frozenset({10, 11, 12}), deputies=(11,))
+    boundary = Boundary(owner=0, peer=10, gateway=3, backups=(2,))
+    return ClusterLayout([c1, c2], [boundary])
+
+
+class TestCluster:
+    def test_head_must_be_member(self):
+        with pytest.raises(ClusteringError):
+            Cluster(head=0, members=frozenset({1, 2}))
+
+    def test_deputies_must_be_non_head_members(self):
+        with pytest.raises(ClusteringError):
+            Cluster(head=0, members=frozenset({0, 1}), deputies=(0,))
+        with pytest.raises(ClusteringError):
+            Cluster(head=0, members=frozenset({0, 1}), deputies=(9,))
+
+    def test_duplicate_deputies_rejected(self):
+        with pytest.raises(ClusteringError):
+            Cluster(head=0, members=frozenset({0, 1, 2}), deputies=(1, 1))
+
+    def test_derived_properties(self):
+        c = Cluster(head=0, members=frozenset({0, 1, 2}), deputies=(2,))
+        assert c.size == 3
+        assert c.ordinary_members == frozenset({1, 2})
+        assert c.primary_deputy == 2
+        assert Cluster(head=0, members=frozenset({0})).primary_deputy is None
+
+
+class TestBoundary:
+    def test_forwarder_order(self):
+        b = Boundary(owner=0, peer=1, gateway=5, backups=(6, 7))
+        assert b.all_forwarders == (5, 6, 7)
+        assert b.backup_count == 2
+
+
+class TestClusterLayout:
+    def test_f3_single_affiliation_enforced(self):
+        c1 = Cluster(head=0, members=frozenset({0, 1}))
+        c2 = Cluster(head=2, members=frozenset({2, 1}))  # 1 in both
+        with pytest.raises(ClusteringError, match="F3"):
+            ClusterLayout([c1, c2])
+
+    def test_duplicate_heads_rejected(self):
+        c = Cluster(head=0, members=frozenset({0}))
+        with pytest.raises(ClusteringError):
+            ClusterLayout([c, c])
+
+    def test_boundary_owner_must_be_head(self):
+        c = Cluster(head=0, members=frozenset({0, 1}))
+        b = Boundary(owner=5, peer=0, gateway=1)
+        with pytest.raises(ClusteringError):
+            ClusterLayout([c], [b])
+
+    def test_boundary_forwarders_must_be_owner_members(self):
+        c1 = Cluster(head=0, members=frozenset({0, 1}))
+        c2 = Cluster(head=5, members=frozenset({5, 6}))
+        bad = Boundary(owner=0, peer=5, gateway=6)  # 6 belongs to peer
+        with pytest.raises(ClusteringError):
+            ClusterLayout([c1, c2], [bad])
+
+    def test_roles(self):
+        layout = simple_layout()
+        assert layout.role_of(0) is NodeRole.CH
+        assert layout.role_of(3) is NodeRole.GW
+        assert layout.role_of(2) is NodeRole.BGW  # deputy AND backup: GW wins
+        assert layout.role_of(1) is NodeRole.DCH
+        assert layout.role_of(12) is NodeRole.OM
+
+    def test_unclustered_role(self):
+        c = Cluster(head=0, members=frozenset({0}))
+        layout = ClusterLayout([c], unclustered=[9])
+        assert layout.role_of(9) is NodeRole.UNMARKED
+        view = layout.local_view(9)
+        assert view.role is NodeRole.UNMARKED and view.head == 9
+
+    def test_local_view_member(self):
+        layout = simple_layout()
+        view = layout.local_view(3)
+        assert view.head == 0
+        assert view.gateway_duties == {10: (0, 1)}
+        assert view.members == frozenset({0, 1, 2, 3})
+
+    def test_local_view_backup(self):
+        layout = simple_layout()
+        view = layout.local_view(2)
+        assert view.gateway_duties == {10: (1, 1)}
+
+    def test_local_view_head_boundaries(self):
+        layout = simple_layout()
+        view = layout.local_view(0)
+        assert view.head_boundaries == {10: 2}
+        assert layout.local_view(10).head_boundaries == {}
+
+    def test_cluster_of_and_errors(self):
+        layout = simple_layout()
+        assert layout.cluster_of(11).head == 10
+        with pytest.raises(ClusteringError):
+            layout.cluster_of(99)
+
+    def test_graph_validation_rejects_out_of_range_member(self):
+        positions = {0: Vec2(0, 0), 1: Vec2(500, 0)}
+        graph = UnitDiskGraph(positions, 100.0)
+        c = Cluster(head=0, members=frozenset({0, 1}))
+        with pytest.raises(ClusteringError, match="unit disk"):
+            ClusterLayout([c], graph=graph)
+
+    def test_graph_validation_requires_full_coverage(self):
+        positions = {0: Vec2(0, 0), 1: Vec2(50, 0)}
+        graph = UnitDiskGraph(positions, 100.0)
+        c = Cluster(head=0, members=frozenset({0}))
+        with pytest.raises(ClusteringError, match="account"):
+            ClusterLayout([c], graph=graph)
+
+    def test_summary(self):
+        summary = simple_layout().summary()
+        assert summary["clusters"] == 2.0
+        assert summary["boundaries"] == 1.0
+        assert summary["mean_backups_per_boundary"] == 1.0
+
+    def test_neighboring_heads(self):
+        layout = simple_layout()
+        assert layout.neighboring_heads(0) == (10,)
+        assert layout.neighboring_heads(10) == ()

@@ -1,0 +1,73 @@
+"""Tests that each ablation shows the effect it exists to show.
+
+These run the real protocol with reduced sizes; thresholds are generous so
+the tests assert *direction*, not magnitude.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_bgw_count,
+    ablation_dch,
+    ablation_digest,
+    ablation_implicit_ack,
+    ablation_peer_forwarding,
+)
+
+
+class TestDigestAblation:
+    def test_digests_reduce_false_detections(self):
+        result = ablation_digest(n=30, p=0.3, executions=25, seed=1)
+        with_rate = result.metric("with-digests", "rate_per_member_execution")
+        without_rate = result.metric(
+            "without-digests", "rate_per_member_execution"
+        )
+        # Without R-2 the rate is ~p (heartbeat-only timeout); with R-2 it
+        # collapses by orders of magnitude.
+        assert without_rate > 0.15
+        assert with_rate < without_rate / 10
+
+
+class TestPeerForwardingAblation:
+    def test_peer_forwarding_reduces_missed_updates(self):
+        result = ablation_peer_forwarding(n=30, p=0.3, executions=25, seed=1)
+        with_rate = result.metric(
+            "with-peer-forwarding", "rate_per_member_execution"
+        )
+        without_rate = result.metric(
+            "without-peer-forwarding", "rate_per_member_execution"
+        )
+        # Without forwarding a member misses the update w.p. ~p.
+        assert 0.15 < without_rate < 0.45
+        assert with_rate < without_rate / 5
+
+
+class TestDchAblation:
+    def test_dch_keeps_cluster_alive(self):
+        result = ablation_dch(n=25, p=0.1, executions=6, seed=3)
+        assert result.metric("with-dch", "aware_of_ch_failure") > 0.9
+        assert result.metric("with-dch", "served_in_last_execution") > 0.9
+        assert result.metric("without-dch", "aware_of_ch_failure") == 0.0
+        assert result.metric("without-dch", "served_in_last_execution") == 0.0
+
+
+class TestBoundaryAblations:
+    def test_bgw_backups_improve_crossing(self):
+        result = ablation_bgw_count(p=0.45, trials=6, seed=2)
+        none = result.metric("backups=0", "mean_cross_boundary_knowledge")
+        two = result.metric("backups=2", "mean_cross_boundary_knowledge")
+        assert two >= none
+        # More forwarders also means more transmissions when losses bite.
+        assert result.metric("backups=2", "mean_reports_sent") >= result.metric(
+            "backups=0", "mean_reports_sent"
+        )
+
+    def test_implicit_ack_improves_crossing(self):
+        result = ablation_implicit_ack(p=0.45, trials=6, seed=2)
+        with_ack = result.metric(
+            "with-implicit-ack", "mean_cross_boundary_knowledge"
+        )
+        without_ack = result.metric(
+            "without-implicit-ack", "mean_cross_boundary_knowledge"
+        )
+        assert with_ack >= without_ack

@@ -1,0 +1,299 @@
+"""Direct unit tests of the FDS sub-components (no full deployment).
+
+The service-level tests exercise these through whole scenarios; here each
+component's state machine is driven directly on a tiny two/three-node
+medium so every branch is reachable deterministically.
+"""
+
+import pytest
+
+from repro.energy.policy import WaitingPeriodPolicy
+from repro.fds.config import FdsConfig
+from repro.fds.intercluster import InterclusterForwarder
+from repro.fds.messages import (
+    FailureReport,
+    HealthStatusUpdate,
+    PeerForward,
+    PeerForwardAck,
+    PeerForwardRequest,
+)
+from repro.fds.peer_forwarding import PeerForwarder
+from repro.sim.engine import Simulator
+from repro.sim.medium import RadioMedium
+from repro.sim.node import SimNode
+from repro.util.geometry import Vec2
+
+
+def make_node(node_id=1, position=Vec2(0, 0), extra_ids=(50, 55, 9, 99)):
+    sim = Simulator()
+    medium = RadioMedium(sim, transmission_range=100.0, max_delay=0.01)
+    node = SimNode(node_id, position, sim, medium)
+    # Register addressable (but out-of-range) peers so unicasts to them
+    # are legal; nothing is delivered to them in these unit tests.
+    for i, extra in enumerate(extra_ids):
+        SimNode(extra, Vec2(5000.0 + i * 300.0, 5000.0), sim, medium)
+    return sim, medium, node
+
+
+def cfg(**kwargs):
+    defaults = dict(phi=5.0, thop=0.5)
+    defaults.update(kwargs)
+    return FdsConfig(**defaults)
+
+
+class TestPeerForwarderUnit:
+    def _forwarder(self, node, updates=None):
+        store = dict(updates or {})
+        applied = []
+        return (
+            PeerForwarder(
+                node,
+                cfg(),
+                get_update=store.get,
+                accept_update=applied.append,
+                energy_fraction=lambda: 1.0,
+            ),
+            store,
+            applied,
+        )
+
+    def test_request_then_timer_fires_forward(self):
+        sim, medium, node = make_node()
+        update = HealthStatusUpdate(head=0, execution=3)
+        forwarder, _store, _applied = self._forwarder(node, {3: update})
+        forwarder.on_request(PeerForwardRequest(sender=9, execution=3))
+        sim.run()
+        assert forwarder.forwards_sent == 1
+
+    def test_no_update_means_no_response(self):
+        sim, _medium, node = make_node()
+        forwarder, _store, _applied = self._forwarder(node, {})
+        forwarder.on_request(PeerForwardRequest(sender=9, execution=3))
+        sim.run()
+        assert forwarder.forwards_sent == 0
+
+    def test_ack_cancels_pending_forward(self):
+        sim, _medium, node = make_node()
+        update = HealthStatusUpdate(head=0, execution=3)
+        forwarder, _store, _applied = self._forwarder(node, {3: update})
+        forwarder.on_request(PeerForwardRequest(sender=9, execution=3))
+        forwarder.on_ack(PeerForwardAck(sender=9, execution=3))
+        sim.run()
+        assert forwarder.forwards_sent == 0
+
+    def test_own_request_ignored(self):
+        sim, _medium, node = make_node()
+        update = HealthStatusUpdate(head=0, execution=3)
+        forwarder, _store, _applied = self._forwarder(node, {3: update})
+        forwarder.on_request(
+            PeerForwardRequest(sender=node.node_id, execution=3)
+        )
+        sim.run()
+        assert forwarder.forwards_sent == 0
+
+    def test_requester_accepts_matching_forward_once(self):
+        sim, _medium, node = make_node()
+        forwarder, _store, applied = self._forwarder(node)
+        forwarder.request_update(4)
+        update = HealthStatusUpdate(head=0, execution=4)
+        message = PeerForward(sender=5, requester=node.node_id, update=update)
+        forwarder.on_peer_forward(message)
+        forwarder.on_peer_forward(message)  # duplicate: ignored
+        assert applied == [update]
+        assert forwarder.recoveries == 1
+
+    def test_requester_rejects_wrong_execution_or_target(self):
+        sim, _medium, node = make_node()
+        forwarder, _store, applied = self._forwarder(node)
+        forwarder.request_update(4)
+        wrong_exec = PeerForward(
+            sender=5, requester=node.node_id,
+            update=HealthStatusUpdate(head=0, execution=3),
+        )
+        other_target = PeerForward(
+            sender=5, requester=99,
+            update=HealthStatusUpdate(head=0, execution=4),
+        )
+        forwarder.on_peer_forward(wrong_exec)
+        forwarder.on_peer_forward(other_target)
+        assert applied == []
+
+    def test_reset_clears_responder_timers(self):
+        sim, _medium, node = make_node()
+        update = HealthStatusUpdate(head=0, execution=3)
+        forwarder, _store, _applied = self._forwarder(node, {3: update})
+        forwarder.on_request(PeerForwardRequest(sender=9, execution=3))
+        forwarder.reset_for_execution()
+        sim.run()
+        assert forwarder.forwards_sent == 0
+
+
+class TestInterclusterForwarderUnit:
+    def _forwarder(self, node, duties, head_boundaries=None, config=None,
+                   head=1):
+        rebroadcasts = []
+        forwarder = InterclusterForwarder(
+            node,
+            config or cfg(),
+            duties=duties,
+            head_boundaries=head_boundaries or {},
+            get_head=lambda: head,
+            get_history=lambda: frozenset({7}),
+            rebroadcast_update=lambda: rebroadcasts.append(1),
+        )
+        return forwarder, rebroadcasts
+
+    def test_gw_forwards_immediately_on_local_news(self):
+        sim, _medium, node = make_node()
+        forwarder, _r = self._forwarder(node, duties={50: (0, 1)})
+        update = HealthStatusUpdate(
+            head=1, execution=0, new_failures=frozenset({7}),
+            known_failures=frozenset({7}),
+        )
+        forwarder.on_local_update(update)
+        assert forwarder.reports_sent == 1
+
+    def test_no_news_no_forwarding(self):
+        sim, _medium, node = make_node()
+        forwarder, _r = self._forwarder(node, duties={50: (0, 1)})
+        forwarder.on_local_update(HealthStatusUpdate(head=1, execution=0))
+        assert forwarder.reports_sent == 0
+
+    def test_bgw_waits_then_steps_in(self):
+        sim, _medium, node = make_node()
+        forwarder, _r = self._forwarder(node, duties={50: (1, 2)})
+        update = HealthStatusUpdate(
+            head=1, execution=0, new_failures=frozenset({7}),
+            known_failures=frozenset({7}),
+        )
+        forwarder.on_local_update(update)
+        assert forwarder.reports_sent == 0  # standing by
+        sim.run_until(0.99)  # rank-1 standby is 2*thop = 1.0
+        assert forwarder.reports_sent == 0
+        sim.run_until(1.01)
+        assert forwarder.reports_sent == 1
+        assert forwarder.bgw_activations == 1
+
+    def test_bgw_released_by_foreign_coverage(self):
+        sim, _medium, node = make_node()
+        forwarder, _r = self._forwarder(node, duties={50: (1, 2)})
+        update = HealthStatusUpdate(
+            head=1, execution=0, new_failures=frozenset({7}),
+            known_failures=frozenset({7}),
+        )
+        forwarder.on_local_update(update)
+        # The peer CH's relay covers failure 7: release.
+        forwarder.on_foreign_update(
+            HealthStatusUpdate(
+                head=50, execution=0, known_failures=frozenset({7}), relay=True
+            )
+        )
+        sim.run()
+        assert forwarder.reports_sent == 0
+
+    def test_retry_budget_respected(self):
+        sim, _medium, node = make_node()
+        config = cfg(max_forward_retries=1)
+        forwarder, _r = self._forwarder(
+            node, duties={50: (0, 0)}, config=config
+        )
+        update = HealthStatusUpdate(
+            head=1, execution=0, new_failures=frozenset({7}),
+            known_failures=frozenset({7}),
+        )
+        forwarder.on_local_update(update)
+        sim.run_until(30.0)  # plenty of timer cycles, never acked
+        # initial shot + exactly max_forward_retries retries
+        assert forwarder.reports_sent == 2
+
+    def test_inbound_duty_from_foreign_news(self):
+        sim, _medium, node = make_node()
+        forwarder, _r = self._forwarder(node, duties={50: (0, 1)})
+        forwarder.on_foreign_update(
+            HealthStatusUpdate(
+                head=50, execution=0, new_failures=frozenset({60}),
+                known_failures=frozenset({60}),
+            )
+        )
+        assert forwarder.reports_sent == 1  # toward own head
+
+    def test_own_head_excluded_from_inbound(self):
+        sim, _medium, node = make_node()
+        forwarder, _r = self._forwarder(node, duties={50: (0, 1)}, head=1)
+        forwarder.on_foreign_update(
+            HealthStatusUpdate(
+                head=50, execution=0, new_failures=frozenset({1}),
+                known_failures=frozenset({1}),
+            )
+        )
+        assert forwarder.reports_sent == 0
+
+    def test_duty_rekeyed_on_peer_takeover(self):
+        sim, _medium, node = make_node()
+        forwarder, _r = self._forwarder(node, duties={50: (0, 1)})
+        forwarder.on_foreign_update(
+            HealthStatusUpdate(
+                head=55, execution=0,
+                new_failures=frozenset({50}),
+                known_failures=frozenset({50}),
+                takeover_from=50,
+            )
+        )
+        assert 55 in forwarder.duties and 50 not in forwarder.duties
+
+    def test_origin_watch_retransmits(self):
+        sim, _medium, node = make_node()
+        forwarder, rebroadcasts = self._forwarder(
+            node, duties={}, head_boundaries={50: 2}, head=node.node_id
+        )
+        update = HealthStatusUpdate(
+            head=node.node_id, execution=0,
+            new_failures=frozenset({7}), known_failures=frozenset({7}),
+        )
+        forwarder.on_local_update(update)
+        sim.run_until(1.01)  # 2*thop with no overheard forwarding
+        assert rebroadcasts == [1]
+
+    def test_origin_watch_released_by_overheard_report(self):
+        sim, _medium, node = make_node()
+        forwarder, rebroadcasts = self._forwarder(
+            node, duties={}, head_boundaries={50: 2}, head=node.node_id
+        )
+        update = HealthStatusUpdate(
+            head=node.node_id, execution=0,
+            new_failures=frozenset({7}), known_failures=frozenset({7}),
+        )
+        forwarder.on_local_update(update)
+        forwarder.on_overheard_report(
+            FailureReport(sender=3, origin=node.node_id, target_head=50,
+                          failures=frozenset({7}))
+        )
+        sim.run_until(5.0)
+        assert rebroadcasts == []
+
+    def test_refutation_clears_ledger(self):
+        sim, _medium, node = make_node()
+        forwarder, _r = self._forwarder(node, duties={50: (0, 1)})
+        news = HealthStatusUpdate(
+            head=1, execution=0, new_failures=frozenset({7}),
+            known_failures=frozenset({7}),
+        )
+        forwarder.on_local_update(news)
+        forwarder.on_foreign_update(
+            HealthStatusUpdate(head=50, execution=0,
+                               known_failures=frozenset({7}))
+        )
+        assert forwarder.ledger.pending(50, frozenset({7})) == frozenset()
+        # Refutation: 7 was alive after all...
+        repair = HealthStatusUpdate(
+            head=1, execution=1, refutations=frozenset({7}),
+        )
+        forwarder.on_local_update(repair)
+        # ...so a later real failure of 7 is forwardable again.
+        assert forwarder.ledger.pending(50, frozenset({7})) == frozenset({7})
+
+
+class TestWaitingPolicyIntegration:
+    def test_lower_energy_waits_longer_than_higher(self):
+        policy = WaitingPeriodPolicy(slot=0.01)
+        assert policy.waiting_period(3, 0.2) > policy.waiting_period(3, 0.9)

@@ -1,0 +1,61 @@
+"""Tests for FDS configuration and timing derivations."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fds.config import FdsConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        FdsConfig()
+
+    def test_phi_must_fit_execution(self):
+        with pytest.raises(ConfigurationError, match="phi"):
+            FdsConfig(phi=1.0, thop=0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"phi": -1.0},
+            {"thop": 0.0},
+            {"max_forward_retries": -1},
+            {"energy_floor": 0.0},
+            {"wait_modulus": 1},
+        ],
+    )
+    def test_invalid_fields(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FdsConfig(**kwargs)
+
+
+class TestTiming:
+    def test_round_starts(self):
+        cfg = FdsConfig(phi=30.0, thop=0.5)
+        assert cfg.round_start(60.0, 0) == 60.0
+        assert cfg.round_start(60.0, 2) == 61.0
+
+    def test_execution_duration(self):
+        cfg = FdsConfig(phi=30.0, thop=0.5, recovery_rounds=2.0)
+        assert cfg.execution_duration() == pytest.approx(2.5)
+        assert cfg.r3_end_offset == pytest.approx(1.5)
+
+    def test_implicit_ack_window_is_2_thop(self):
+        # Figure 3: the sender retransmits after 2 * Thop.
+        assert FdsConfig(thop=0.7).implicit_ack_window == pytest.approx(1.4)
+
+    def test_bgw_standby_ladder(self):
+        # Section 4.3: BGW rank k waits k * 2*Thop.
+        cfg = FdsConfig(thop=0.5)
+        assert cfg.bgw_standby(1) == pytest.approx(1.0)
+        assert cfg.bgw_standby(3) == pytest.approx(3.0)
+        with pytest.raises(ConfigurationError):
+            cfg.bgw_standby(0)
+
+    def test_post_forward_wait(self):
+        # Section 4.3: after forwarding, wait (n + 1) * 2*Thop.
+        cfg = FdsConfig(thop=0.5)
+        assert cfg.post_forward_wait(0) == pytest.approx(1.0)
+        assert cfg.post_forward_wait(2) == pytest.approx(3.0)
+        with pytest.raises(ConfigurationError):
+            cfg.post_forward_wait(-1)

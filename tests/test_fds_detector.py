@@ -1,0 +1,104 @@
+"""Tests for the pure detection rules (Section 4.2).
+
+These are the heart of the paper's accuracy argument; every clause of
+both rules is exercised separately.
+"""
+
+import pytest
+
+from repro.fds.detector import (
+    DetectionInputs,
+    apply_ch_failure_rule,
+    apply_failure_rule,
+)
+
+
+def inputs(heartbeats=(), digests=None, update_from=None):
+    return DetectionInputs(
+        heartbeats=frozenset(heartbeats),
+        digests={k: frozenset(v) for k, v in (digests or {}).items()},
+        update_received_from=update_from,
+    )
+
+
+class TestFailureRule:
+    def test_silent_node_with_no_witness_detected(self):
+        result = apply_failure_rule({5}, inputs())
+        assert result == frozenset({5})
+
+    def test_heartbeat_clears_suspicion(self):
+        assert apply_failure_rule({5}, inputs(heartbeats=[5])) == frozenset()
+
+    def test_own_digest_clears_suspicion(self):
+        # Clause 1: the digest *from* v counts even without its heartbeat.
+        assert apply_failure_rule({5}, inputs(digests={5: []})) == frozenset()
+
+    def test_witness_digest_clears_suspicion(self):
+        # Clause 2: any member's digest reflecting v's heartbeat.
+        assert (
+            apply_failure_rule({5}, inputs(digests={7: [5]})) == frozenset()
+        )
+
+    def test_multiple_members_partitioned_correctly(self):
+        result = apply_failure_rule(
+            {4, 5, 6, 7},
+            inputs(heartbeats=[4], digests={9: [5], 6: []}),
+        )
+        assert result == frozenset({7})
+
+    def test_empty_expected_set(self):
+        assert apply_failure_rule(set(), inputs()) == frozenset()
+
+    def test_digest_clauses_disabled(self):
+        # The R-2 ablation: witness digests no longer count...
+        assert apply_failure_rule(
+            {5}, inputs(digests={7: [5]}), use_digests=False
+        ) == frozenset({5})
+        # ...but the direct heartbeat still does.
+        assert apply_failure_rule(
+            {5}, inputs(heartbeats=[5]), use_digests=False
+        ) == frozenset()
+
+    def test_digest_from_target_still_counts_when_disabled(self):
+        # With R-2 disabled no digests exist at all, but the rule function
+        # treats a digest *from* the target as first-class evidence
+        # regardless, since it proves liveness directly.
+        assert apply_failure_rule(
+            {5}, inputs(digests={5: []}), use_digests=False
+        ) == frozenset()
+
+
+class TestChFailureRule:
+    def test_all_conditions_met_detects(self):
+        assert apply_ch_failure_rule(0, inputs())
+
+    def test_ch_heartbeat_blocks(self):
+        assert not apply_ch_failure_rule(0, inputs(heartbeats=[0]))
+
+    def test_ch_digest_blocks(self):
+        assert not apply_ch_failure_rule(0, inputs(digests={0: []}))
+
+    def test_witness_blocks(self):
+        assert not apply_ch_failure_rule(0, inputs(digests={3: [0]}))
+
+    def test_update_blocks(self):
+        # Condition 3: the R-3 update arrived -- the CH is alive.
+        assert not apply_ch_failure_rule(0, inputs(update_from=0))
+
+    def test_update_from_other_head_does_not_block(self):
+        assert apply_ch_failure_rule(0, inputs(update_from=9))
+
+
+class TestFailStopSoundness:
+    def test_crashed_node_always_detected(self):
+        # Under fail-stop a crashed node produces no evidence of any kind,
+        # so whatever else arrives, the rule must flag it.
+        evidence_rich = inputs(
+            heartbeats=[1, 2, 3], digests={1: [2, 3], 2: [1, 3], 3: [1, 2]}
+        )
+        assert apply_failure_rule({9}, evidence_rich) == frozenset({9})
+
+    def test_no_false_detection_with_complete_evidence(self):
+        members = set(range(1, 20))
+        full = inputs(heartbeats=members)
+        assert apply_failure_rule(members, full) == frozenset()

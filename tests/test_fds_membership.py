@@ -1,0 +1,91 @@
+"""Tests for membership views over the FDS."""
+
+import pytest
+
+from repro.failure.injection import FailureInjector
+from repro.fds.membership import attach_view_trackers
+from repro.topology.placement import cluster_disk_placement
+from repro.util.geometry import Vec2
+
+from tests.fds_helpers import deploy
+
+
+class TestViewTracker:
+    def test_first_view_installed_after_first_update(self, rng):
+        placement = cluster_disk_placement(12, 100.0, rng)
+        deployment, layout, _tracer, _network = deploy(placement)
+        trackers = attach_view_trackers(deployment)
+        member = sorted(layout.clusters[0].ordinary_members)[0]
+        assert trackers[member].current is None
+        deployment.run_executions(1)
+        view = trackers[member].current
+        assert view is not None
+        assert view.view_id == 1
+        assert view.members == layout.clusters[0].members
+
+    def test_stable_membership_means_one_view(self, rng):
+        placement = cluster_disk_placement(12, 100.0, rng)
+        deployment, layout, _tracer, _network = deploy(placement)
+        trackers = attach_view_trackers(deployment)
+        deployment.run_executions(4)
+        member = sorted(layout.clusters[0].ordinary_members)[0]
+        assert trackers[member].view_count() == 1
+
+    def test_failure_advances_view(self, rng):
+        placement = cluster_disk_placement(12, 100.0, rng)
+        deployment, layout, _tracer, network = deploy(placement)
+        trackers = attach_view_trackers(deployment)
+        injector = FailureInjector(network, deployment.config)
+        victim = sorted(layout.clusters[0].ordinary_members)[1]
+        injector.crash_before_execution(victim, execution=1)
+        deployment.run_executions(3)
+        member = sorted(
+            layout.clusters[0].ordinary_members - {victim}
+        )[0]
+        tracker = trackers[member]
+        assert tracker.view_count() == 2
+        assert victim in tracker.history[0]
+        assert victim not in tracker.current.members
+
+    def test_views_converge_across_cluster(self, rng):
+        placement = cluster_disk_placement(12, 100.0, rng)
+        deployment, layout, _tracer, network = deploy(placement)
+        trackers = attach_view_trackers(deployment)
+        injector = FailureInjector(network, deployment.config)
+        victim = sorted(layout.clusters[0].ordinary_members)[1]
+        injector.crash_before_execution(victim, execution=1)
+        deployment.run_executions(3)
+        survivors = [
+            nid for nid in layout.clusters[0].ordinary_members
+            if network.nodes[nid].is_operational
+        ]
+        final_sets = {trackers[nid].current.members for nid in survivors}
+        assert len(final_sets) == 1
+
+    def test_admission_advances_view(self, rng):
+        from tests.test_fds_admission import add_unmarked_node
+
+        placement = cluster_disk_placement(12, 100.0, rng)
+        deployment, layout, _tracer, network = deploy(placement)
+        trackers = attach_view_trackers(deployment)
+        deployment.run_executions(1)
+        nid, _protocol = add_unmarked_node(
+            deployment, network, Vec2(30.0, 10.0), executions=2
+        )
+        deployment.run_executions(2)
+        member = sorted(layout.clusters[0].ordinary_members)[0]
+        tracker = trackers[member]
+        assert tracker.view_count() >= 2
+        assert nid in tracker.current.members
+
+    def test_takeover_changes_head_in_view(self, rng):
+        placement = cluster_disk_placement(12, 100.0, rng)
+        deployment, layout, _tracer, network = deploy(placement)
+        trackers = attach_view_trackers(deployment)
+        injector = FailureInjector(network, deployment.config)
+        injector.crash_before_execution(0, execution=1)  # kill the CH
+        deployment.run_executions(3)
+        member = sorted(layout.clusters[0].ordinary_members)[3]
+        current = trackers[member].current
+        assert current.head != 0
+        assert 0 not in current.members

@@ -1,0 +1,131 @@
+"""FDS behaviour under message loss: peer forwarding and self-healing."""
+
+import pytest
+
+from repro.failure.injection import FailureInjector
+from repro.fds import events as ev
+from repro.fds.config import FdsConfig
+from repro.metrics.properties import evaluate_properties
+from repro.topology.placement import cluster_disk_placement
+
+from tests.fds_helpers import TargetedLoss, deploy
+
+
+class TestPeerForwarding:
+    def test_missed_update_recovered_by_peers(self, rng):
+        # Deterministic fault: one member loses every copy of the R-3
+        # update from the CH during execution 1, but hears everyone else.
+        placement = cluster_disk_placement(15, 100.0, rng)
+        victim = 7
+
+        def predicate(sender, receiver, time):
+            # Drop only CH -> victim during R-3 of execution 1
+            # (epoch 5.0, R-3 begins 6.0) and the peer-forward copies'
+            # window is left open.
+            return sender == 0 and receiver == victim and 5.9 <= time <= 6.6
+
+        deployment, layout, tracer, network = deploy(
+            placement, loss_model=TargetedLoss(predicate)
+        )
+        deployment.run_executions(3)
+        protocol = deployment.protocols[victim]
+        assert 1 in protocol.updates_received  # recovered
+        assert tracer.count(ev.PEER_REQUEST) == 1
+        assert tracer.count(ev.PEER_RECOVERY) == 1
+        assert protocol.peer.recoveries == 1
+
+    def test_requester_acks_and_forwarders_stand_down(self, rng):
+        placement = cluster_disk_placement(25, 100.0, rng)
+        victim = 9
+
+        def predicate(sender, receiver, time):
+            return sender == 0 and receiver == victim and 5.9 <= time <= 6.6
+
+        deployment, _layout, _tracer, network = deploy(
+            placement, loss_model=TargetedLoss(predicate)
+        )
+        deployment.run_executions(2)
+        # At most a couple of neighbors actually transmit before the ack
+        # silences the rest (energy-balanced races are not perfectly
+        # single-shot because of propagation delay).
+        forwards = sum(
+            p.peer.forwards_sent for p in deployment.protocols.values()
+        )
+        assert 1 <= forwards <= 6
+
+    def test_disabled_peer_forwarding_leaves_gap(self, rng):
+        placement = cluster_disk_placement(15, 100.0, rng)
+        victim = 7
+
+        def predicate(sender, receiver, time):
+            return sender == 0 and receiver == victim and 5.9 <= time <= 6.6
+
+        cfg = FdsConfig(phi=5.0, thop=0.5, peer_forwarding=False)
+        deployment, _layout, tracer, _network = deploy(
+            placement, loss_model=TargetedLoss(predicate), fds_config=cfg
+        )
+        deployment.run_executions(3)
+        protocol = deployment.protocols[victim]
+        assert 1 not in protocol.updates_received
+        assert tracer.count(ev.PEER_REQUEST) == 0
+
+
+class TestStatisticalBehaviour:
+    def test_moderate_loss_keeps_properties(self, rng):
+        # p = 0.2 over several executions: completeness and accuracy both
+        # hold for this seed (the analytic failure probabilities at N=31
+        # are small but not negligible; the seed is fixed).
+        placement = cluster_disk_placement(30, 100.0, rng)
+        deployment, layout, _tracer, network = deploy(placement, p=0.2, seed=5)
+        injector = FailureInjector(network, deployment.config)
+        victim = sorted(layout.clusters[0].ordinary_members)[4]
+        injector.crash_before_execution(victim, execution=1)
+        deployment.run_executions(4)
+        report = evaluate_properties(deployment)
+        assert report.completeness[victim] == 1.0
+        assert report.is_accurate
+
+    def test_observed_loss_rate_tracks_p(self, rng):
+        placement = cluster_disk_placement(20, 100.0, rng)
+        deployment, _layout, _tracer, network = deploy(placement, p=0.3, seed=3)
+        deployment.run_executions(5)
+        stats = network.medium.message_stats()
+        rate = stats["losses"] / (stats["losses"] + stats["deliveries"])
+        assert 0.27 <= rate <= 0.33
+
+
+class TestSelfHealing:
+    def test_false_detection_gets_refuted_and_forgotten(self, rng):
+        # Without digests, false detections are common (rate p per member
+        # per execution).  Every one of them must be repaired: by the end
+        # of the run no operational node is suspected anywhere.
+        placement = cluster_disk_placement(15, 100.0, rng)
+        cfg = FdsConfig(phi=5.0, thop=0.5, use_digests=False)
+        # Lossy for 10 executions (epochs 0..45), then a clean channel so
+        # no *new* false detections occur while the repairs flush.
+        from tests.fds_helpers import PhasedLoss
+
+        deployment, _layout, tracer, network = deploy(
+            placement, seed=11, fds_config=cfg,
+            loss_model=PhasedLoss(p=0.25, cutoff=49.0),
+        )
+        deployment.run_executions(10)
+        assert tracer.count(ev.DETECTION) > 0, "expected false detections"
+        assert tracer.count(ev.REFUTATION) > 0
+        # Quiesce: two clean executions flush every repair.
+        deployment.run_executions(2)
+        report = evaluate_properties(deployment)
+        assert report.is_accurate
+
+    def test_refutation_announced_in_update(self, rng):
+        placement = cluster_disk_placement(15, 100.0, rng)
+        cfg = FdsConfig(phi=5.0, thop=0.5, use_digests=False)
+        deployment, _layout, tracer, network = deploy(
+            placement, p=0.25, seed=11, fds_config=cfg
+        )
+        deployment.run_executions(10)
+        # Member-side refutations outnumber CH-side ones: the repair
+        # propagated through updates.
+        refutations = tracer.filter(ev.REFUTATION)
+        nodes_refuting = {r.node for r in refutations}
+        assert len(nodes_refuting) > 1

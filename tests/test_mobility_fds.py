@@ -1,0 +1,103 @@
+"""Mobility extension tests: the FDS with periodic re-formation.
+
+The paper defers host migration but claims the framework extends to it;
+these tests exercise that claim with slow random-waypoint mobility and the
+oracle re-clustering policy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.remediation import ReclusteringPolicy
+from repro.errors import ConfigurationError
+from repro.failure.injection import FailureInjector
+from repro.fds.config import FdsConfig
+from repro.metrics.properties import evaluate_properties
+from repro.sim.mobility import RandomWaypoint
+from repro.topology.generators import multi_cluster_field
+
+from tests.fds_helpers import deploy
+
+
+def mobile_world(rng, speed=1.0, p=0.05, phi=10.0):
+    placement = multi_cluster_field(3, 20, 100.0, rng)
+    cfg = FdsConfig(phi=phi, thop=0.5)
+    deployment, layout, tracer, network = deploy(
+        placement, p=p, seed=8, fds_config=cfg
+    )
+    mobility = RandomWaypoint(
+        width=500.0, height=300.0, speed_min=speed * 0.5,
+        speed_max=speed, rng=np.random.default_rng(3),
+    )
+    mobility.install(network.sim, network.medium, tick=1.0, until=1000.0)
+    return deployment, layout, tracer, network
+
+
+class TestReclustering:
+    def test_recluster_refreshes_views(self, rng):
+        deployment, layout, _tracer, network = mobile_world(rng)
+        policy = ReclusteringPolicy(deployment)
+        deployment.run_executions(2)
+        new_layout = policy.recluster_now()
+        assert policy.reclusterings == 1
+        # Every operational node's protocol matches the fresh layout.
+        for nid in network.operational_ids():
+            protocol = deployment.protocols[nid]
+            assert protocol.head == new_layout.local_view(nid).head
+
+    def test_crashed_nodes_left_out(self, rng):
+        deployment, layout, _tracer, network = mobile_world(rng)
+        policy = ReclusteringPolicy(deployment)
+        deployment.run_executions(2)
+        victim = sorted(layout.clusters[layout.heads[0]].ordinary_members)[0]
+        network.crash(victim)
+        new_layout = policy.recluster_now()
+        assert not new_layout.is_clustered(victim)
+
+    def test_history_preserved_across_reclustering(self, rng):
+        deployment, layout, _tracer, network = mobile_world(rng)
+        injector = FailureInjector(network, deployment.config)
+        victim = sorted(layout.clusters[layout.heads[0]].ordinary_members)[0]
+        injector.crash_before_execution(victim, execution=1)
+        policy = ReclusteringPolicy(deployment)
+        deployment.run_executions(2)
+        assert victim in deployment.protocols[layout.heads[0]].history
+        policy.recluster_now()
+        assert victim in deployment.protocols[layout.heads[0]].history
+
+    def test_invalid_cadence(self, rng):
+        deployment, _layout, _tracer, _network = mobile_world(rng)
+        policy = ReclusteringPolicy(deployment)
+        with pytest.raises(ConfigurationError):
+            policy.run_with_reclustering(4, recluster_every=0)
+
+
+class TestMobileFds:
+    def test_slow_mobility_with_reclustering_keeps_properties(self, rng):
+        # ~1 m/s over phi=10s: a node drifts ~10 m between executions --
+        # well within a 100 m radio disk if re-formed every 2 executions.
+        deployment, layout, tracer, network = mobile_world(rng, speed=1.0)
+        injector = FailureInjector(network, deployment.config)
+        victim = sorted(layout.clusters[layout.heads[1]].ordinary_members)[0]
+        injector.crash_before_execution(victim, execution=1)
+        policy = ReclusteringPolicy(deployment)
+        policy.run_with_reclustering(6, recluster_every=2)
+        assert policy.reclusterings == 2
+        report = evaluate_properties(deployment)
+        assert report.completeness[victim] >= 0.9
+        # Transient role churn must not leave lasting false suspicions.
+        assert len(report.accuracy_violations) == 0
+
+    def test_detection_still_exact_under_mobility(self, rng):
+        deployment, layout, tracer, network = mobile_world(rng, speed=0.5)
+        injector = FailureInjector(network, deployment.config)
+        victim = sorted(layout.clusters[layout.heads[0]].ordinary_members)[2]
+        injector.crash_before_execution(victim, execution=1)
+        policy = ReclusteringPolicy(deployment)
+        policy.run_with_reclustering(4, recluster_every=2)
+        from repro.fds import events as ev
+
+        targets = {
+            r.detail["target"] for r in tracer.iter_kind(ev.DETECTION)
+        }
+        assert int(victim) in targets

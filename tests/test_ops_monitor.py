@@ -1,0 +1,82 @@
+"""Tests for the operations health monitor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.failure.injection import FailureInjector
+from repro.ops.monitor import HealthMonitor
+from repro.topology.placement import cluster_disk_placement
+
+from tests.fds_helpers import deploy
+
+
+class TestHealthMonitor:
+    def _world(self, rng, crashes=(), executions=4):
+        placement = cluster_disk_placement(15, 100.0, rng)
+        deployment, layout, _tracer, network = deploy(placement)
+        injector = FailureInjector(network, deployment.config)
+        for i, victim in enumerate(crashes):
+            injector.crash_before_execution(victim, execution=i + 1)
+        monitor = HealthMonitor(
+            deployment, vantage=0, capacity_threshold=14
+        )
+        deployment.run_executions(executions)
+        return deployment, monitor, network
+
+    def test_healthy_network_no_advisory(self, rng):
+        _deployment, monitor, _network = self._world(rng)
+        snapshot = monitor.poll()
+        assert snapshot.believed_operational == 16
+        assert snapshot.believed_loss_fraction == 0.0
+        assert monitor.advisories == []
+
+    def test_advisory_below_threshold(self, rng):
+        _deployment, monitor, _network = self._world(
+            rng, crashes=(3, 5, 7)
+        )
+        snapshot = monitor.poll()
+        assert snapshot.believed_operational == 13
+        assert len(monitor.advisories) == 1
+        advisory = monitor.advisories[0]
+        assert advisory.replacements_needed == 1  # back to the threshold
+        assert advisory.believed_operational == 13
+
+    def test_target_population_sizing(self, rng):
+        placement = cluster_disk_placement(15, 100.0, rng)
+        deployment, _layout, _tracer, network = deploy(placement)
+        injector = FailureInjector(network, deployment.config)
+        for i, victim in enumerate((3, 5, 7)):
+            injector.crash_before_execution(victim, execution=i + 1)
+        monitor = HealthMonitor(
+            deployment, vantage=0, capacity_threshold=14,
+            target_population=16,
+        )
+        deployment.run_executions(4)
+        monitor.poll()
+        assert monitor.advisories[0].replacements_needed == 3
+
+    def test_accuracy_against_truth(self, rng):
+        _deployment, monitor, _network = self._world(rng, crashes=(3,))
+        monitor.poll()
+        assert monitor.accuracy_against_truth() == 1.0
+
+    def test_latest_and_history(self, rng):
+        _deployment, monitor, _network = self._world(rng)
+        assert monitor.latest is None
+        monitor.poll()
+        monitor.poll()
+        assert len(monitor.snapshots) == 2
+        assert monitor.latest is monitor.snapshots[-1]
+
+    def test_validation(self, rng):
+        placement = cluster_disk_placement(8, 100.0, rng)
+        deployment, _layout, _tracer, _network = deploy(placement)
+        with pytest.raises(ConfigurationError):
+            HealthMonitor(deployment, vantage=999, capacity_threshold=5)
+        with pytest.raises(ConfigurationError):
+            HealthMonitor(deployment, vantage=0, capacity_threshold=-1)
+        with pytest.raises(ConfigurationError):
+            HealthMonitor(
+                deployment, vantage=0, capacity_threshold=5,
+                target_population=3,
+            )

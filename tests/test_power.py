@@ -1,0 +1,144 @@
+"""Tests for sleep/wakeup power management (Section 6 extension)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.failure.injection import FailureInjector
+from repro.fds import events as ev
+from repro.fds.config import FdsConfig
+from repro.metrics.properties import evaluate_properties
+from repro.power.manager import install_power_management
+from repro.power.schedule import DutyCycleSchedule, RandomSleepSchedule
+from repro.topology.placement import cluster_disk_placement
+
+from tests.fds_helpers import deploy
+
+
+class TestSchedules:
+    def test_duty_cycle_pattern(self):
+        schedule = DutyCycleSchedule(awake=2, asleep_count=1, phase_stride=0)
+        pattern = [schedule.asleep(5, e) for e in range(6)]
+        assert pattern == [False, False, True, False, False, True]
+
+    def test_phase_staggering(self):
+        schedule = DutyCycleSchedule(awake=2, asleep_count=1, phase_stride=1)
+        sleeping_at_0 = {n for n in range(9) if schedule.asleep(n, 0)}
+        # One third of nodes sleeps at any execution, not everyone at once.
+        assert 0 < len(sleeping_at_0) < 9
+
+    def test_span_ahead(self):
+        schedule = DutyCycleSchedule(awake=1, asleep_count=2, phase_stride=0)
+        # Node awake at exec 0, sleeps execs 1-2.
+        assert schedule.span_ahead(0, 0) == 2
+        assert schedule.span_ahead(0, 3) == 2
+
+    def test_zero_sleep(self):
+        schedule = DutyCycleSchedule(awake=2, asleep_count=0)
+        assert not any(schedule.asleep(1, e) for e in range(10))
+
+    def test_random_schedule_is_memoized(self):
+        schedule = RandomSleepSchedule(q=0.5, seed=1)
+        draws = [schedule.asleep(3, 7) for _ in range(5)]
+        assert len(set(draws)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DutyCycleSchedule(awake=0)
+        with pytest.raises(ConfigurationError):
+            RandomSleepSchedule(q=1.0)
+
+
+class TestSleepManager:
+    def _run(self, rng, sleep_aware, announce, executions=9, p=0.05):
+        placement = cluster_disk_placement(24, 100.0, rng)
+        cfg = FdsConfig(phi=5.0, thop=0.5, sleep_aware=sleep_aware)
+        deployment, layout, tracer, network = deploy(
+            placement, p=p, seed=4, fds_config=cfg
+        )
+        managers = install_power_management(
+            deployment,
+            DutyCycleSchedule(awake=2, asleep_count=1),
+            announce_sleep=announce,
+        )
+        deployment.run_executions(executions)
+        return deployment, layout, tracer, network, managers
+
+    def test_nodes_actually_sleep(self, rng):
+        _dep, _layout, _tracer, _network, managers = self._run(
+            rng, sleep_aware=True, announce=True
+        )
+        slept = sum(m.sleep_executions for m in managers.values())
+        assert slept > 20
+
+    def test_backbone_never_sleeps(self, rng):
+        deployment, layout, _tracer, _network, managers = self._run(
+            rng, sleep_aware=True, announce=True
+        )
+        head = layout.heads[0]
+        assert managers[head].sleep_executions == 0
+
+    def test_naive_sleeping_causes_false_detections(self, rng):
+        _dep, _layout, tracer, network, _mgrs = self._run(
+            rng, sleep_aware=False, announce=False
+        )
+        assert tracer.count(ev.DETECTION) > 10
+
+    def test_announced_sleep_is_excused(self, rng):
+        deployment, _layout, tracer, _network, _mgrs = self._run(
+            rng, sleep_aware=True, announce=True
+        )
+        assert tracer.count(ev.DETECTION) <= 2
+        report = evaluate_properties(deployment)
+        assert len(report.accuracy_violations) <= 2
+
+    def test_crash_during_sleep_detected_after_excuse_expires(self, rng):
+        placement = cluster_disk_placement(24, 100.0, rng)
+        cfg = FdsConfig(phi=5.0, thop=0.5, sleep_aware=True)
+        deployment, layout, tracer, network = deploy(
+            placement, p=0.0, seed=4, fds_config=cfg
+        )
+        schedule = DutyCycleSchedule(awake=2, asleep_count=1)
+        install_power_management(deployment, schedule, announce_sleep=True)
+        # Pick a non-backbone member and crash it while excused.
+        boundary_nodes = set()
+        victim = None
+        cluster = layout.clusters[layout.heads[0]]
+        for candidate in sorted(cluster.ordinary_members):
+            if candidate not in cluster.deputies:
+                victim = candidate
+                break
+        assert victim is not None
+        injector = FailureInjector(network, cfg)
+        injector.crash_before_execution(victim, execution=3)
+        deployment.run_executions(9)
+        # Detected eventually (once no valid excuse covers the silence).
+        assert victim in deployment.protocols[layout.heads[0]].history
+        report = evaluate_properties(deployment)
+        assert report.completeness[victim] == 1.0
+
+    def test_energy_savings(self, rng):
+        from repro.energy import EnergyConfig, EnergyModel
+
+        def run(with_sleep):
+            rng2 = __import__("numpy").random.default_rng(9)
+            placement = cluster_disk_placement(24, 100.0, rng2)
+            cfg = FdsConfig(phi=5.0, thop=0.5)
+            from repro.cluster.geometric import build_clusters
+            from repro.fds.service import install_fds
+            from repro.sim.network import NetworkConfig, build_network
+            from repro.topology.graph import UnitDiskGraph
+
+            layout = build_clusters(UnitDiskGraph(placement, 100.0))
+            network = build_network(
+                placement, NetworkConfig(loss_probability=0.05, seed=4)
+            )
+            energy = EnergyModel(EnergyConfig(harvest_rate=0.0))
+            deployment = install_fds(network, layout, cfg, energy=energy)
+            if with_sleep:
+                install_power_management(
+                    deployment, DutyCycleSchedule(awake=2, asleep_count=1)
+                )
+            deployment.run_executions(9)
+            return energy.totals()["rx_total"] + energy.totals()["tx_total"]
+
+        assert run(True) < run(False)

@@ -1,0 +1,315 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.false_detection import (
+    p_false_detection,
+    p_false_detection_literal,
+)
+from repro.analysis.incompleteness import (
+    p_incompleteness,
+    p_incompleteness_literal,
+)
+from repro.cluster.geometric import lowest_id_partition
+from repro.fds.detector import DetectionInputs, apply_failure_rule
+from repro.fds.digest import build_digest
+from repro.fds.reports import BoundaryLedger, ReportHistory
+from repro.sim.engine import Simulator
+from repro.sim.events import EventQueue
+from repro.topology.graph import UnitDiskGraph
+from repro.util.geometry import Vec2, lens_area
+from repro.util.logmath import log_binomial, log_binomial_pmf, logsumexp
+from repro.util.rng import derive_seed
+from repro.util.tables import render_table
+
+
+# ----------------------------------------------------------------------
+# Event queue / engine ordering
+# ----------------------------------------------------------------------
+
+event_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.integers(min_value=-3, max_value=3),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(event_specs)
+def test_event_queue_pops_in_total_order(specs):
+    q = EventQueue()
+    for i, (time, priority) in enumerate(specs):
+        q.push(time, lambda: None, priority=priority)
+    popped = []
+    while q:
+        e = q.pop()
+        popped.append((e.time, e.priority, e.sequence))
+    assert popped == sorted(popped)
+
+
+@given(event_specs, st.sets(st.integers(min_value=0, max_value=59)))
+def test_event_queue_cancellation_removes_exactly_those(specs, to_cancel):
+    q = EventQueue()
+    events = [q.push(t, lambda: None, priority=p) for t, p in specs]
+    cancelled = set()
+    for index in to_cancel:
+        if index < len(events):
+            q.cancel(events[index])
+            cancelled.add(events[index].sequence)
+    survivors = []
+    while q:
+        survivors.append(q.pop().sequence)
+    expected = [e.sequence for e in sorted(events) if e.sequence not in cancelled]
+    assert survivors == expected
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1000, allow_nan=False),
+                min_size=1, max_size=40))
+def test_simulator_clock_never_goes_backwards(times):
+    sim = Simulator()
+    observed = []
+    for t in times:
+        sim.schedule_at(t, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert sim.now == max(times)
+
+
+# ----------------------------------------------------------------------
+# Geometry
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=1.0, max_value=1e4),
+    st.floats(min_value=0.0, max_value=2.0),
+)
+def test_lens_area_bounds(radius, k):
+    distance = k * radius
+    area = lens_area(radius, distance)
+    assert 0.0 <= area <= math.pi * radius * radius + 1e-6
+
+
+@given(
+    st.floats(min_value=1.0, max_value=1e3),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_lens_area_monotone(radius, k1, k2):
+    d1, d2 = sorted((k1 * 2 * radius, k2 * 2 * radius))
+    assert lens_area(radius, d1) >= lens_area(radius, d2) - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Log-domain math
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=300), st.integers(min_value=0, max_value=300))
+def test_log_binomial_symmetry(n, k):
+    assume(k <= n)
+    assert math.isclose(
+        log_binomial(n, k), log_binomial(n, n - k), rel_tol=1e-12, abs_tol=1e-9
+    )
+
+
+@given(
+    st.integers(min_value=1, max_value=200),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_binomial_pmf_normalizes(n, p):
+    total = logsumexp(log_binomial_pmf(k, n, p) for k in range(n + 1))
+    assert math.isclose(total, 0.0, abs_tol=1e-9)
+
+
+@given(st.lists(st.floats(min_value=-700, max_value=0), min_size=1, max_size=50))
+def test_logsumexp_upper_and_lower_bounds(values):
+    result = logsumexp(values)
+    assert result >= max(values) - 1e-12
+    assert result <= max(values) + math.log(len(values)) + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Analysis measures
+# ----------------------------------------------------------------------
+
+measure_params = st.tuples(
+    st.integers(min_value=2, max_value=120),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+@given(measure_params)
+def test_false_detection_is_probability_and_matches_literal(params):
+    n, p = params
+    closed = p_false_detection(n, p)
+    assert 0.0 <= closed <= 1.0
+    literal = p_false_detection_literal(n, p)
+    assert math.isclose(literal, closed, rel_tol=1e-8, abs_tol=1e-300)
+
+
+@given(measure_params)
+def test_incompleteness_is_probability_and_bounded_by_p(params):
+    n, p = params
+    value = p_incompleteness(n, p)
+    assert 0.0 <= value <= p + 1e-12
+    literal = p_incompleteness_literal(n, p)
+    assert math.isclose(literal, value, rel_tol=1e-8, abs_tol=1e-300)
+
+
+# ----------------------------------------------------------------------
+# Detection rule
+# ----------------------------------------------------------------------
+
+node_ids = st.integers(min_value=0, max_value=40)
+
+
+@given(
+    st.sets(node_ids, max_size=20),
+    st.sets(node_ids, max_size=20),
+    st.dictionaries(node_ids, st.frozensets(node_ids, max_size=10), max_size=10),
+)
+def test_failure_rule_detects_exactly_the_unevidenced(expected, heartbeats, digests):
+    inputs = DetectionInputs(
+        heartbeats=frozenset(heartbeats), digests=digests
+    )
+    detected = apply_failure_rule(expected, inputs)
+    for v in expected:
+        has_evidence = (
+            v in heartbeats
+            or v in digests
+            or any(v in heard for heard in digests.values())
+        )
+        assert (v not in detected) == has_evidence
+    assert detected <= frozenset(expected)
+
+
+@given(
+    st.sets(node_ids, max_size=20),
+    st.sets(node_ids, max_size=20),
+    st.sets(node_ids, max_size=20),
+)
+def test_digest_filter_properties(heard, members, extra):
+    sender = 99
+    digest = build_digest(sender, 0, heard | extra, members)
+    assert digest.heard <= frozenset(members)
+    assert sender not in digest.heard
+
+
+# ----------------------------------------------------------------------
+# Report bookkeeping
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(st.frozensets(node_ids, max_size=8), max_size=15))
+def test_report_history_add_is_monotone_and_exact(batches):
+    history = ReportHistory()
+    seen = set()
+    for batch in batches:
+        novel = history.add(batch)
+        assert novel == frozenset(batch) - frozenset(seen)
+        seen |= set(batch)
+        assert history.known == frozenset(seen)
+
+
+@given(
+    st.lists(
+        st.tuples(node_ids, st.frozensets(node_ids, min_size=1, max_size=5)),
+        max_size=15,
+    )
+)
+def test_boundary_ledger_pending_is_acked_complement(operations):
+    ledger = BoundaryLedger()
+    acked = {}
+    for peer, failures in operations:
+        ledger.note_ack(peer, failures)
+        acked.setdefault(peer, set()).update(failures)
+    for peer, known in acked.items():
+        probe = frozenset(range(0, 41))
+        assert ledger.pending(peer, probe) == probe - frozenset(known)
+
+
+# ----------------------------------------------------------------------
+# Clustering invariants
+# ----------------------------------------------------------------------
+
+positions_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=500.0),
+        st.floats(min_value=0.0, max_value=500.0),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(deadline=None)
+@given(positions_strategy)
+def test_lowest_id_partition_invariants(points):
+    graph = UnitDiskGraph(
+        {i: Vec2(x, y) for i, (x, y) in enumerate(points)}, 100.0
+    )
+    partition = lowest_id_partition(graph)
+    all_members = [m for members in partition.values() for m in members]
+    # Exactly-one-cluster membership (feature F3 at the partition level).
+    assert len(all_members) == len(set(all_members))
+    for head, members in partition.items():
+        assert head in members
+        for member in members:
+            if member != head:
+                assert graph.are_neighbors(head, member)
+        # The head has the lowest NID in its cluster.
+        assert head == min(members)
+    # Heads are never adjacent.
+    heads = sorted(partition)
+    for i, a in enumerate(heads):
+        for b in heads[i + 1:]:
+            assert not graph.are_neighbors(a, b)
+    # Coverage: every non-isolated node is clustered.
+    isolated = {nid for nid in graph.nodes() if graph.degree(nid) == 0}
+    assert set(all_members) == set(graph.nodes()) - isolated
+
+
+# ----------------------------------------------------------------------
+# Misc utilities
+# ----------------------------------------------------------------------
+
+
+@given(st.integers(), st.lists(st.text(max_size=10), max_size=5))
+def test_derive_seed_is_stable_and_in_range(root, names):
+    seed = derive_seed(root, *names)
+    assert 0 <= seed < 2**64
+    assert seed == derive_seed(root, *names)
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.one_of(
+                st.floats(allow_nan=False, allow_infinity=False),
+                st.text(
+                    alphabet=st.characters(
+                        blacklist_categories=("Cs", "Cc", "Zl", "Zp")
+                    ),
+                    max_size=8,
+                ),
+                st.integers(min_value=-10**9, max_value=10**9),
+            ),
+            min_size=2,
+            max_size=2,
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_render_table_never_crashes_and_aligns(rows):
+    text = render_table(["a", "b"], rows)
+    lines = text.splitlines()
+    assert len(lines) == len(rows) + 2
+    widths = {len(line.rstrip()) <= len(lines[0]) + 200 for line in lines}
+    assert widths  # smoke: all lines rendered

@@ -1,0 +1,108 @@
+"""Tests for the simulation engine."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_run_executes_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.run()
+        assert fired == [1, 2]
+        assert sim.now == 2.0
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_schedule_at_now_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: sim.schedule_at(sim.now, lambda: fired.append("x")))
+        sim.run()
+        assert fired == ["x"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            Simulator().schedule_in(-1.0, lambda: None)
+
+    def test_cancellation(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule_at(1.0, lambda: fired.append("no"))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            sim.schedule_in(1.0, lambda: fired.append("inner"))
+
+        sim.schedule_at(1.0, outer)
+        sim.run()
+        assert fired == ["inner"]
+        assert sim.now == 2.0
+
+
+class TestRunUntil:
+    def test_stops_at_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(1.0, lambda: fired.append(1))
+        sim.schedule_at(3.0, lambda: fired.append(3))
+        sim.run_until(2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run_until(4.0)
+        assert fired == [1, 3]
+
+    def test_boundary_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(2.0, lambda: fired.append(2))
+        sim.run_until(2.0)
+        assert fired == [2]
+
+    def test_advances_clock_even_if_queue_empty(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        assert sim.now == 10.0
+
+    def test_backwards_run_until_raises(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SchedulingError):
+            sim.run_until(4.0)
+
+
+class TestGuards:
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule_in(1.0, reschedule)
+
+        sim.schedule_in(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run(max_events=100)
+
+    def test_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run()
+        assert sim.processed_events == 5
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False

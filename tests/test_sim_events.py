@@ -1,0 +1,79 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.events import Event, EventQueue
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        fired = []
+        q.push(2.0, lambda: fired.append("b"))
+        q.push(1.0, lambda: fired.append("a"))
+        q.push(3.0, lambda: fired.append("c"))
+        while q:
+            q.pop().callback()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_orders_by_priority_then_insertion(self):
+        q = EventQueue()
+        fired = []
+        q.push(1.0, lambda: fired.append("later"), priority=1)
+        q.push(1.0, lambda: fired.append("first"), priority=0)
+        q.push(1.0, lambda: fired.append("second"), priority=0)
+        while q:
+            q.pop().callback()
+        assert fired == ["first", "second", "later"]
+
+    def test_len_counts_active_only(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert len(q) == 2
+        q.cancel(e1)
+        assert len(q) == 1
+
+    def test_cancelled_events_skipped_on_pop(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None, label="first")
+        q.push(2.0, lambda: None, label="second")
+        q.cancel(e1)
+        assert q.pop().label == "second"
+
+    def test_double_cancel_is_safe(self):
+        q = EventQueue()
+        e = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.cancel(e)
+        q.cancel(e)
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        e = q.push(5.0, lambda: None)
+        assert q.peek_time() == 5.0
+        q.cancel(e)
+        assert q.peek_time() is None
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().push(float("nan"), lambda: None)
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.clear()
+        assert not q
+
+    def test_event_repr_and_active(self):
+        e = Event(time=1.0, priority=0, sequence=0, callback=lambda: None)
+        assert e.active
+        e.cancel()
+        assert not e.active

@@ -1,0 +1,72 @@
+"""Tests for mobility models."""
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.medium import RadioMedium
+from repro.sim.mobility import RandomWaypoint, StaticPlacement
+from repro.util.geometry import Vec2
+
+
+def make_medium_with_nodes(count=5):
+    sim = Simulator()
+    medium = RadioMedium(sim, transmission_range=100.0, max_delay=0.01)
+    rng = np.random.default_rng(1)
+    for i in range(count):
+        medium.register(
+            i,
+            Vec2(float(rng.uniform(0, 200)), float(rng.uniform(0, 200))),
+            lambda e: None,
+        )
+    return sim, medium
+
+
+class TestStaticPlacement:
+    def test_nothing_moves(self):
+        sim, medium = make_medium_with_nodes()
+        before = {nid: medium.position_of(nid) for nid in medium.node_ids()}
+        model = StaticPlacement()
+        model.install(sim, medium, tick=1.0, until=5.0)
+        sim.run_until(5.0)
+        after = {nid: medium.position_of(nid) for nid in medium.node_ids()}
+        assert before == after
+
+
+class TestRandomWaypoint:
+    def test_nodes_move_within_field(self):
+        sim, medium = make_medium_with_nodes()
+        before = {nid: medium.position_of(nid) for nid in medium.node_ids()}
+        model = RandomWaypoint(
+            width=200.0, height=200.0, speed_min=5.0, speed_max=10.0,
+            rng=np.random.default_rng(2),
+        )
+        model.install(sim, medium, tick=1.0, until=20.0)
+        sim.run_until(20.0)
+        moved = sum(
+            1
+            for nid in medium.node_ids()
+            if medium.position_of(nid).distance_to(before[nid]) > 1.0
+        )
+        assert moved == len(medium.node_ids())
+        for nid in medium.node_ids():
+            pos = medium.position_of(nid)
+            assert -1e-6 <= pos.x <= 200.0 + 1e-6
+            assert -1e-6 <= pos.y <= 200.0 + 1e-6
+
+    def test_speed_bound_respected(self):
+        sim, medium = make_medium_with_nodes(count=3)
+        model = RandomWaypoint(
+            width=500.0, height=500.0, speed_min=2.0, speed_max=4.0,
+            rng=np.random.default_rng(3),
+        )
+        positions = {nid: medium.position_of(nid) for nid in medium.node_ids()}
+        model.step(medium, dt=1.0)
+        for nid in medium.node_ids():
+            stride = medium.position_of(nid).distance_to(positions[nid])
+            assert stride <= 4.0 + 1e-9
+
+    def test_invalid_speeds(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            RandomWaypoint(100, 100, speed_min=5.0, speed_max=1.0)

@@ -1,0 +1,87 @@
+"""Tests for restartable timers."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.engine import Simulator
+from repro.sim.timers import Timer, TimerService
+
+
+class TestTimer:
+    def test_fires_once(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.run()
+        assert fired == [2.0]
+        assert timer.fired_count == 1
+        assert not timer.armed
+
+    def test_stop_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(2.0)
+        timer.stop()
+        sim.run()
+        assert fired == []
+
+    def test_restart_replaces_deadline(self):
+        # The implicit-ack semantics: re-arming cancels the old deadline.
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        timer.start(5.0)
+        sim.run()
+        assert fired == [5.0]
+
+    def test_deadline_property(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert timer.deadline is None
+        timer.start(3.0)
+        assert timer.deadline == 3.0
+
+    def test_negative_delay_rejected(self):
+        timer = Timer(Simulator(), lambda: None)
+        with pytest.raises(SchedulingError):
+            timer.start(-0.5)
+
+    def test_restart_from_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def on_fire():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.start(1.0)
+
+        timer = Timer(sim, on_fire)
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestTimerService:
+    def test_after_creates_and_starts(self):
+        sim = Simulator()
+        service = TimerService(sim)
+        fired = []
+        service.after(1.5, lambda: fired.append(1))
+        assert service.armed_count == 1
+        sim.run()
+        assert fired == [1]
+        assert service.armed_count == 0
+
+    def test_stop_all_silences_everything(self):
+        # Crash semantics: a fail-stopped node's timers must all die.
+        sim = Simulator()
+        service = TimerService(sim)
+        fired = []
+        for i in range(5):
+            service.after(float(i + 1), lambda: fired.append(1))
+        service.stop_all()
+        sim.run()
+        assert fired == []

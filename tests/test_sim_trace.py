@@ -1,0 +1,81 @@
+"""Tests for tracing."""
+
+from repro.sim.trace import (
+    CallbackTracer,
+    NullTracer,
+    RecordingTracer,
+    TraceRecord,
+)
+
+
+class TestRecordingTracer:
+    def test_record_and_filter(self):
+        tracer = RecordingTracer()
+        tracer.record(1.0, "radio.tx", node=1)
+        tracer.record(2.0, "radio.rx", node=2)
+        tracer.record(3.0, "fds.detection", node=3, target=9)
+        assert len(tracer) == 3
+        assert tracer.count("radio") == 2
+        assert tracer.count("radio.tx") == 1
+        assert [r.time for r in tracer.filter("fds")] == [3.0]
+
+    def test_prefix_matching_is_segment_aware(self):
+        tracer = RecordingTracer()
+        tracer.record(1.0, "radio.tx")
+        tracer.record(1.0, "radiology")
+        assert tracer.count("radio") == 1
+
+    def test_detail_payload(self):
+        tracer = RecordingTracer()
+        tracer.record(1.0, "fds.detection", node=1, target=5, execution=2)
+        record = tracer.records[0]
+        assert record.detail["target"] == 5
+        assert record.detail["execution"] == 2
+
+    def test_kinds_histogram(self):
+        tracer = RecordingTracer()
+        for _ in range(3):
+            tracer.record(0.0, "a")
+        tracer.record(0.0, "b")
+        assert tracer.kinds() == {"a": 3, "b": 1}
+
+    def test_clear(self):
+        tracer = RecordingTracer()
+        tracer.record(0.0, "a")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_iter_kind(self):
+        tracer = RecordingTracer()
+        tracer.record(0.0, "x.y")
+        tracer.record(0.0, "x.z")
+        assert len(list(tracer.iter_kind("x"))) == 2
+
+
+def test_records_to_jsonl_roundtrip():
+    import json
+
+    from repro.sim.trace import records_to_jsonl
+
+    tracer = RecordingTracer()
+    tracer.record(1.5, "fds.detection", node=3, target=9, execution=2)
+    tracer.record(2.0, "radio.tx", node=1)
+    text = records_to_jsonl(tracer.records)
+    lines = [json.loads(line) for line in text.splitlines()]
+    assert lines[0] == {
+        "time": 1.5, "kind": "fds.detection", "node": 3,
+        "target": 9, "execution": 2,
+    }
+    assert lines[1]["kind"] == "radio.tx"
+
+
+def test_null_tracer_discards():
+    tracer = NullTracer()
+    tracer.record(0.0, "anything")  # must not raise or store
+
+
+def test_callback_tracer_streams():
+    seen = []
+    tracer = CallbackTracer(seen.append)
+    tracer.record(1.0, "k", node=2)
+    assert seen == [TraceRecord(time=1.0, kind="k", node=2, detail={})]

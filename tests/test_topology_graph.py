@@ -1,0 +1,92 @@
+"""Tests for the unit-disk graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.graph import UnitDiskGraph
+from repro.topology.placement import uniform_rect_placement
+from repro.util.geometry import Vec2
+
+
+def line_graph(spacing=60.0, count=5, radius=100.0):
+    return UnitDiskGraph(
+        {i: Vec2(spacing * i, 0.0) for i in range(count)}, radius
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            UnitDiskGraph({}, 100.0)
+
+    def test_line_adjacency(self):
+        g = line_graph()
+        assert g.neighbors(0) == (1,)
+        assert g.neighbors(2) == (1, 3)
+        assert g.degree(2) == 2
+
+    def test_edges_unique_and_ordered(self):
+        g = line_graph(count=4)
+        assert list(g.edges()) == [(0, 1), (1, 2), (2, 3)]
+        assert g.edge_count() == 3
+
+    def test_matches_brute_force_on_random_field(self, rng):
+        placement = uniform_rect_placement(150, 400.0, 400.0, rng)
+        g = UnitDiskGraph(placement, 100.0)
+        for nid in g.nodes():
+            brute = tuple(
+                sorted(
+                    o
+                    for o in placement
+                    if o != nid
+                    and placement[nid].distance_to(placement[o]) <= 100.0
+                )
+            )
+            assert g.neighbors(nid) == brute
+
+
+class TestQueries:
+    def test_are_neighbors_symmetry(self):
+        g = line_graph()
+        assert g.are_neighbors(0, 1) and g.are_neighbors(1, 0)
+        assert not g.are_neighbors(0, 2)
+
+    def test_common_neighbors(self):
+        g = line_graph()
+        assert g.common_neighbors(0, 2) == (1,)
+        assert g.common_neighbors(0, 4) == ()
+
+    def test_distance(self):
+        g = line_graph(spacing=60.0)
+        assert g.distance(0, 2) == pytest.approx(120.0)
+
+    def test_unknown_node_raises(self):
+        g = line_graph()
+        with pytest.raises(TopologyError):
+            g.neighbors(99)
+        with pytest.raises(TopologyError):
+            g.position(99)
+
+    def test_contains_and_len(self):
+        g = line_graph(count=3)
+        assert len(g) == 3
+        assert 1 in g and 7 not in g
+
+
+class TestSubgraph:
+    def test_induced_edges(self):
+        g = line_graph(count=5)
+        sub = g.subgraph([0, 1, 3])
+        assert sub.neighbors(0) == (1,)
+        assert sub.neighbors(3) == ()
+
+    def test_unknown_nodes_rejected(self):
+        with pytest.raises(TopologyError):
+            line_graph().subgraph([0, 42])
+
+    def test_positions_copy_is_isolated(self):
+        g = line_graph(count=2)
+        positions = g.positions()
+        positions[0] = Vec2(999, 999)
+        assert g.position(0) == Vec2(0.0, 0.0)

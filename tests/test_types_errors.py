@@ -1,0 +1,55 @@
+"""Tests for the shared types and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+from repro.types import NodeRole, NodeStatus
+
+
+class TestNodeRole:
+    def test_marked_semantics(self):
+        assert NodeRole.CH.is_marked
+        assert NodeRole.OM.is_marked
+        assert not NodeRole.UNMARKED.is_marked
+
+    def test_backbone_participation(self):
+        # Figure 1(b): the upper communication tier.
+        assert NodeRole.CH.participates_in_backbone
+        assert NodeRole.GW.participates_in_backbone
+        assert NodeRole.BGW.participates_in_backbone
+        assert NodeRole.DCH.participates_in_backbone
+        assert not NodeRole.OM.participates_in_backbone
+        assert not NodeRole.UNMARKED.participates_in_backbone
+
+
+class TestNodeStatus:
+    def test_operational(self):
+        assert NodeStatus.ALIVE.is_operational
+        assert not NodeStatus.CRASHED.is_operational
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.SimulationError,
+            errors.SchedulingError,
+            errors.MediumError,
+            errors.NodeStateError,
+            errors.TopologyError,
+            errors.ClusteringError,
+            errors.ProtocolError,
+            errors.AnalysisError,
+            errors.ExperimentError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_scheduling_is_simulation_error(self):
+        assert issubclass(errors.SchedulingError, errors.SimulationError)
+
+    def test_catchable_as_one(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ClusteringError("boom")

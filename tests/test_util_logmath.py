@@ -1,0 +1,114 @@
+"""Tests for repro.util.logmath."""
+
+import math
+
+import pytest
+from scipy import stats
+
+from repro.errors import AnalysisError
+from repro.util.logmath import (
+    NEG_INF,
+    log1mexp,
+    log_binomial,
+    log_binomial_pmf,
+    logsumexp,
+    stable_binomial_logsum,
+    stable_binomial_sum,
+)
+
+
+class TestLogBinomial:
+    def test_small_values_exact(self):
+        assert log_binomial(5, 2) == pytest.approx(math.log(10))
+        assert log_binomial(10, 0) == pytest.approx(0.0)
+        assert log_binomial(10, 10) == pytest.approx(0.0)
+
+    def test_out_of_range_is_neg_inf(self):
+        assert log_binomial(5, -1) == NEG_INF
+        assert log_binomial(5, 6) == NEG_INF
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(AnalysisError):
+            log_binomial(-1, 0)
+
+    def test_large_values_match_lgamma_identity(self):
+        # C(1000, 500) via direct lgamma.
+        expected = (
+            math.lgamma(1001) - math.lgamma(501) - math.lgamma(501)
+        )
+        assert log_binomial(1000, 500) == pytest.approx(expected)
+
+
+class TestLogBinomialPmf:
+    @pytest.mark.parametrize("n,p", [(10, 0.3), (50, 0.05), (100, 0.5)])
+    def test_matches_scipy(self, n, p):
+        for k in (0, 1, n // 2, n):
+            expected = stats.binom.logpmf(k, n, p)
+            assert log_binomial_pmf(k, n, p) == pytest.approx(expected, rel=1e-10)
+
+    def test_degenerate_p(self):
+        assert log_binomial_pmf(0, 10, 0.0) == pytest.approx(0.0)
+        assert log_binomial_pmf(10, 10, 1.0) == pytest.approx(0.0)
+        assert log_binomial_pmf(3, 10, 0.0) == NEG_INF
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(AnalysisError):
+            log_binomial_pmf(1, 2, 1.5)
+
+
+class TestLogsumexp:
+    def test_basic(self):
+        values = [math.log(1), math.log(2), math.log(3)]
+        assert logsumexp(values) == pytest.approx(math.log(6))
+
+    def test_empty_and_all_neg_inf(self):
+        assert logsumexp([]) == NEG_INF
+        assert logsumexp([NEG_INF, NEG_INF]) == NEG_INF
+
+    def test_handles_tiny_magnitudes(self):
+        # Sum of two values around e^-1000 must not underflow to -inf.
+        result = logsumexp([-1000.0, -1000.0])
+        assert result == pytest.approx(-1000.0 + math.log(2))
+
+    def test_mixed_with_neg_inf(self):
+        assert logsumexp([NEG_INF, 0.0]) == pytest.approx(0.0)
+
+
+class TestStableBinomialSum:
+    def test_constant_term_sums_to_one(self):
+        # sum_k pmf(k) * 1 == 1.
+        assert stable_binomial_sum(30, 0.3, lambda k: 0.0) == pytest.approx(1.0)
+
+    def test_geometric_identity(self):
+        # E[x^K] for K ~ Binomial(n, p) is (1 - p + p x)^n.
+        n, p, x = 25, 0.4, 0.3
+        result = stable_binomial_sum(n, p, lambda k: k * math.log(x))
+        assert result == pytest.approx((1 - p + p * x) ** n, rel=1e-10)
+
+    def test_logsum_survives_extreme_underflow(self):
+        # Terms near e^-5000 would underflow any direct product.
+        n, p = 100, 0.5
+        log_total = stable_binomial_logsum(n, p, lambda k: -50.0 * (k + 1))
+        assert -5100 < log_total < -49
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            stable_binomial_logsum(-1, 0.5, lambda k: 0.0)
+        with pytest.raises(AnalysisError):
+            stable_binomial_logsum(5, 1.5, lambda k: 0.0)
+
+
+class TestLog1mexp:
+    def test_matches_naive_where_safe(self):
+        for log_p in (-0.1, -1.0, -5.0):
+            naive = math.log(1 - math.exp(log_p))
+            assert log1mexp(log_p) == pytest.approx(naive, rel=1e-12)
+
+    def test_extremes(self):
+        assert log1mexp(0.0) == NEG_INF
+        # For log_p very negative, log(1 - e^x) ~ -e^x.
+        assert log1mexp(-50.0) == pytest.approx(-math.exp(-50.0), rel=1e-6)
+
+    def test_positive_rejected(self):
+        with pytest.raises(AnalysisError):
+            log1mexp(0.1)

@@ -1,0 +1,55 @@
+"""Tests for repro.util.rng."""
+
+from repro.util.rng import RngFactory, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_root_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_structure_matters(self):
+        # ("ab",) and ("a", "b") must differ (separator in the hash).
+        assert derive_seed(0, "ab") != derive_seed(0, "a", "b")
+
+    def test_accepts_non_string_names(self):
+        assert derive_seed(0, 1, 2.5) == derive_seed(0, "1", "2.5")
+
+
+class TestRngFactory:
+    def test_same_path_same_stream(self):
+        factory = RngFactory(7)
+        a = factory.stream("x").random(10)
+        b = factory.stream("x").random(10)
+        assert (a == b).all()
+
+    def test_different_paths_independent(self):
+        factory = RngFactory(7)
+        a = factory.stream("x").random(10)
+        b = factory.stream("y").random(10)
+        assert not (a == b).all()
+
+    def test_adding_consumers_does_not_perturb_existing(self):
+        # The draws of stream "x" must not depend on whether "y" exists.
+        only_x = RngFactory(9).stream("x").random(5)
+        factory = RngFactory(9)
+        factory.stream("y").random(100)
+        assert (factory.stream("x").random(5) == only_x).all()
+
+    def test_child_namespacing(self):
+        factory = RngFactory(7)
+        child = factory.child("sub")
+        a = child.stream("x").random(5)
+        b = factory.child("sub").stream("x").random(5)
+        assert (a == b).all()
+        assert not (a == factory.stream("x").random(5)).all()
+
+    def test_seed_property_and_repr(self):
+        factory = RngFactory(123)
+        assert factory.seed == 123
+        assert "123" in repr(factory)

@@ -1,0 +1,48 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import render_series_table, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        text = render_table(["name", "value"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="hello")
+        assert text.splitlines()[0] == "hello"
+
+    def test_tiny_floats_use_scientific(self):
+        text = render_table(["v"], [[1.3e-120]])
+        assert "e-120" in text
+
+    def test_zero_renders_plainly(self):
+        assert "0" in render_table(["v"], [[0.0]])
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_bool_cells(self):
+        text = render_table(["ok"], [[True], [False]])
+        assert "True" in text and "False" in text
+
+
+class TestRenderSeriesTable:
+    def test_shape(self):
+        text = render_series_table(
+            "p", [0.1, 0.2], {"N=50": [1.0, 2.0], "N=100": [3.0, 4.0]}
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["p", "N=50", "N=100"]
+        assert len(lines) == 4
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_series_table("p", [0.1, 0.2], {"N=50": [1.0]})

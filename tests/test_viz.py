@@ -1,0 +1,55 @@
+"""Tests for the ASCII field map."""
+
+import pytest
+
+from repro.cluster.geometric import build_clusters
+from repro.errors import ConfigurationError
+from repro.topology.generators import corridor_field
+from repro.topology.graph import UnitDiskGraph
+from repro.util.geometry import Vec2
+from repro.viz.ascii_map import render_field_map
+
+
+class TestFieldMap:
+    def test_dimensions_and_legend(self, rng):
+        positions = corridor_field(2, 15, 100.0, rng)
+        text = render_field_map(positions, width=40, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 11
+        assert all(len(line) == 40 for line in lines[:-1])
+        assert lines[-1].startswith("legend:")
+
+    def test_roles_rendered(self, rng):
+        positions = corridor_field(2, 20, 100.0, rng)
+        layout = build_clusters(UnitDiskGraph(positions, 100.0))
+        text = render_field_map(positions, layout=layout)
+        assert "H" in text       # heads visible
+        assert "o" in text
+
+    def test_crashed_marker_wins(self):
+        positions = {0: Vec2(0, 0), 1: Vec2(100, 100)}
+        text = render_field_map(positions, crashed={0}, width=10, height=5)
+        assert "x" in text
+
+    def test_single_point_field(self):
+        text = render_field_map({0: Vec2(5, 5)}, width=10, height=5)
+        grid = "".join(text.splitlines()[:-1])  # drop the legend line
+        assert grid.count("o") == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            render_field_map({})
+        with pytest.raises(ConfigurationError):
+            render_field_map({0: Vec2(0, 0)}, width=2, height=2)
+
+    def test_prominence_in_shared_cell(self):
+        # A head and a member in the same tiny cell: head wins.
+        positions = {0: Vec2(0, 0), 1: Vec2(0.1, 0.1), 9: Vec2(100, 100)}
+        from repro.cluster.state import Cluster, ClusterLayout
+
+        layout = ClusterLayout(
+            [Cluster(head=0, members=frozenset({0, 1}))], unclustered=[9]
+        )
+        text = render_field_map(positions, layout=layout, width=10, height=5)
+        assert "H" in text
+        assert "?" in text
