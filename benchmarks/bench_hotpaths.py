@@ -1,0 +1,241 @@
+#!/usr/bin/env python
+"""Hot-path microbenchmarks: radio fan-out, MC throughput, parallel repeat.
+
+Emits a machine-readable ``benchmarks/results/BENCH_hotpaths.json`` so the
+performance trajectory is trackable across PRs.  Three benches:
+
+- **transmit_fanout** -- ``RadioMedium.transmit`` into a dense N=100
+  cluster at p=0.2, vectorized hot path vs. the scalar reference loop
+  (``vectorized=False``).  Both paths are bit-identical by construction
+  (asserted via the medium counters), so the speedup is pure overhead
+  removal.
+- **mc_throughput** -- chunked Monte Carlo false-detection trials/second,
+  serial and across the process pool.
+- **repeat_scenario** -- wall clock of a multi-seed scenario replication
+  for 1/2/4 workers, with scaling efficiency relative to serial.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py          # full
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --quick  # CI smoke
+
+Numbers are machine-dependent; ``meta.cpu_count`` is recorded so scaling
+efficiency on single-core boxes is interpretable (a pool cannot beat
+serial with one CPU).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import math
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.analysis.montecarlo import mc_chunked, mc_false_detection
+from repro.experiments.repeat import repeat_scenario
+from repro.experiments.runner import ScenarioConfig
+from repro.sim.engine import Simulator
+from repro.sim.loss import BernoulliLoss
+from repro.sim.medium import RadioMedium
+from repro.util.geometry import Vec2
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+DEFAULT_OUTPUT = RESULTS_DIR / "BENCH_hotpaths.json"
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _dense_cluster_positions(n: int, radius: float, seed: int) -> list[Vec2]:
+    """``n`` nodes uniform in a disk of ``radius/2`` -- all pairwise in range."""
+    rng = np.random.default_rng(seed)
+    r = (radius / 2.0) * np.sqrt(rng.uniform(size=n))
+    theta = rng.uniform(0.0, 2.0 * math.pi, size=n)
+    return [Vec2(float(x), float(y)) for x, y in zip(r * np.cos(theta), r * np.sin(theta))]
+
+
+def _build_medium(positions, p: float, seed: int, vectorized: bool) -> RadioMedium:
+    sim = Simulator()
+    medium = RadioMedium(
+        sim,
+        transmission_range=100.0,
+        loss_model=BernoulliLoss(p),
+        rng=np.random.default_rng(seed),
+        vectorized=vectorized,
+    )
+    for i, pos in enumerate(positions):
+        medium.register(i, pos, lambda env: None)
+    return medium
+
+
+def bench_transmit_fanout(n: int, p: float, transmits: int, seed: int = 7) -> dict:
+    """Time ``transmit`` alone: bursts on the clock, queue drain off it.
+
+    Draining between bursts keeps the event heap at a realistic size
+    (in a real run deliveries fire continuously), and GC is held during
+    the timed sections so collection pauses don't land on either path
+    unevenly.
+    """
+    positions = _dense_cluster_positions(n, radius=100.0, seed=seed)
+    burst = 25
+    bursts = max(1, transmits // burst)
+    timings: dict[str, float] = {}
+    stats: dict[str, dict[str, int]] = {}
+    for label, vectorized in (("vectorized", True), ("scalar", False)):
+        medium = _build_medium(positions, p, seed, vectorized)
+        medium.transmit(0, "warmup")  # build neighbor + array caches
+        medium.sim.run()
+        elapsed = 0.0
+        gc.disable()
+        try:
+            for _ in range(bursts):
+                start = time.perf_counter()
+                for i in range(burst):
+                    medium.transmit(i % n, "payload")
+                elapsed += time.perf_counter() - start
+                medium.sim.run()  # drain deliveries off-clock
+        finally:
+            gc.enable()
+        timings[label] = elapsed
+        stats[label] = medium.message_stats()
+    transmits = bursts * burst
+    if stats["vectorized"] != stats["scalar"]:  # bit-identity sanity check
+        raise AssertionError(
+            f"paths diverged: {stats['vectorized']} != {stats['scalar']}"
+        )
+    speedup = timings["scalar"] / timings["vectorized"]
+    return {
+        "n": n,
+        "p": p,
+        "transmits": transmits,
+        "scalar_s": timings["scalar"],
+        "vectorized_s": timings["vectorized"],
+        "scalar_us_per_transmit": 1e6 * timings["scalar"] / transmits,
+        "vectorized_us_per_transmit": 1e6 * timings["vectorized"] / transmits,
+        "speedup": speedup,
+        "paths_bit_identical": True,
+    }
+
+
+def bench_mc_throughput(trials: int, seed: int = 11) -> dict:
+    per_workers: dict[str, dict] = {}
+    reference = None
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        estimate = mc_chunked(
+            mc_false_detection, 100, 0.2, trials, seed=seed, workers=workers
+        )
+        elapsed = time.perf_counter() - start
+        if reference is None:
+            reference = estimate
+        per_workers[str(workers)] = {
+            "wall_s": elapsed,
+            "trials_per_s": trials / elapsed,
+            "estimate": estimate.estimate,
+            "bit_identical_to_serial": estimate == reference,
+        }
+    return {"trials": trials, "n": 100, "p": 0.2, "workers": per_workers}
+
+
+def bench_repeat_scaling(seeds: int, quick: bool) -> dict:
+    config = ScenarioConfig(
+        cluster_count=2,
+        members_per_cluster=10 if quick else 20,
+        loss_probability=0.1,
+        crash_count=1,
+        executions=3 if quick else 5,
+    )
+    seed_list = list(range(1, seeds + 1))
+    per_workers: dict[str, dict] = {}
+    serial_wall = None
+    reference = None
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        result = repeat_scenario(config, seed_list, workers=workers)
+        elapsed = time.perf_counter() - start
+        if serial_wall is None:
+            serial_wall = elapsed
+            reference = result.metrics
+        per_workers[str(workers)] = {
+            "wall_s": elapsed,
+            "speedup_vs_serial": serial_wall / elapsed,
+            "scaling_efficiency": serial_wall / elapsed / workers,
+            "bit_identical_to_serial": result.metrics == reference,
+        }
+    return {
+        "seeds": seeds,
+        "scenario": {
+            "cluster_count": config.cluster_count,
+            "members_per_cluster": config.members_per_cluster,
+            "executions": config.executions,
+        },
+        "workers": per_workers,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=DEFAULT_OUTPUT,
+        help=f"JSON output path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    transmits = 300 if args.quick else 2000
+    trials = 50_000 if args.quick else 400_000
+    seeds = 4 if args.quick else 8
+
+    print(f"transmit fan-out (N=100, p=0.2, {transmits} transmits) ...")
+    fanout = bench_transmit_fanout(n=100, p=0.2, transmits=transmits)
+    print(
+        f"  scalar {fanout['scalar_us_per_transmit']:.1f} us/tx, "
+        f"vectorized {fanout['vectorized_us_per_transmit']:.1f} us/tx, "
+        f"speedup {fanout['speedup']:.2f}x"
+    )
+
+    print(f"MC throughput ({trials} trials) ...")
+    mc = bench_mc_throughput(trials)
+    for w, row in mc["workers"].items():
+        print(f"  workers={w}: {row['trials_per_s']:.0f} trials/s")
+
+    print(f"repeat_scenario scaling ({seeds} seeds) ...")
+    repeat = bench_repeat_scaling(seeds, args.quick)
+    for w, row in repeat["workers"].items():
+        print(
+            f"  workers={w}: {row['wall_s']:.2f} s "
+            f"(efficiency {row['scaling_efficiency']:.2f})"
+        )
+
+    payload = {
+        "schema": "bench_hotpaths/v1",
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "quick": args.quick,
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+        },
+        "benchmarks": {
+            "transmit_fanout": fanout,
+            "mc_throughput": mc,
+            "repeat_scenario": repeat,
+        },
+    }
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,9 +34,11 @@ from repro.analysis.incompleteness import (
     p_incompleteness_log10,
 )
 from repro.analysis.montecarlo import (
+    mc_chunked,
     mc_false_detection,
     mc_false_detection_on_ch,
     mc_incompleteness,
+    merge_estimates,
 )
 from repro.analysis.reachability import dch_reachability_failure
 from repro.analysis.sweep import MeasureSeries, sweep_measure
@@ -54,9 +56,11 @@ __all__ = [
     "p_incompleteness",
     "p_incompleteness_literal",
     "p_incompleteness_log10",
+    "mc_chunked",
     "mc_false_detection",
     "mc_false_detection_on_ch",
     "mc_incompleteness",
+    "merge_estimates",
     "dch_reachability_failure",
     "wilson_interval",
     "MeasureSeries",

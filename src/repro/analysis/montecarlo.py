@@ -20,13 +20,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.confidence import wilson_interval
 from repro.analysis.geometry import PAPER_TRANSMISSION_RANGE
 from repro.errors import AnalysisError
+from repro.util.parallel import chunk_sizes, parallel_map, spawn_seed_sequences
 from repro.util.validation import check_int_at_least, check_probability
 
 
@@ -179,3 +180,75 @@ def mc_incompleteness(
         conditional_successes=successes,
         trials=trials,
     )
+
+
+# ----------------------------------------------------------------------
+# Chunked / multi-worker execution
+# ----------------------------------------------------------------------
+
+#: An estimator callable: ``(n, p, trials, rng, **kwargs) -> McEstimate``.
+McEstimator = Callable[..., McEstimate]
+
+#: Fixed default chunk count for :func:`mc_chunked`.  Deliberately *not*
+#: derived from the worker count: the chunking scheme (and hence the
+#: per-chunk RNG streams) must depend only on the estimator inputs so that
+#: serial and parallel executions return bit-identical estimates.
+DEFAULT_MC_CHUNKS = 8
+
+
+def merge_estimates(estimates: Sequence[McEstimate]) -> McEstimate:
+    """Pool independent estimates of the same measure into one.
+
+    Conditional successes and trials add; the (exact) prefactor must agree
+    across all parts.
+    """
+    if not estimates:
+        raise AnalysisError("merge_estimates needs at least one estimate")
+    prefactor = estimates[0].prefactor
+    if any(e.prefactor != prefactor for e in estimates):
+        raise AnalysisError("cannot merge estimates with different prefactors")
+    successes = sum(e.conditional_successes for e in estimates)
+    trials = sum(e.trials for e in estimates)
+    return McEstimate(
+        estimate=prefactor * successes / trials,
+        prefactor=prefactor,
+        conditional_successes=successes,
+        trials=trials,
+    )
+
+
+def _run_mc_chunk(task) -> McEstimate:
+    """Worker entry point: one seeded chunk of trials (picklable)."""
+    estimator, n, p, trials, seed_seq, kwargs = task
+    return estimator(n, p, trials, np.random.default_rng(seed_seq), **kwargs)
+
+
+def mc_chunked(
+    estimator: McEstimator,
+    n: int,
+    p: float,
+    trials: int,
+    seed: int,
+    chunks: int = DEFAULT_MC_CHUNKS,
+    workers: Optional[int] = 1,
+    **kwargs: object,
+) -> McEstimate:
+    """Run ``estimator`` over ``trials`` split into seeded chunks.
+
+    Each chunk draws from its own :class:`~numpy.random.SeedSequence`
+    child of ``seed`` and the chunk results are merged in chunk order, so
+    the estimate depends only on ``(estimator, n, p, trials, seed,
+    chunks, kwargs)`` -- **never** on ``workers``.  ``workers=1`` runs the
+    chunks serially in-process; larger values (or ``None`` for all CPUs)
+    fan them over a process pool.  Extra ``kwargs`` (``distance``,
+    ``radius``, ...) are forwarded to the estimator.
+    """
+    check_int_at_least("trials", trials, 1)
+    check_int_at_least("chunks", chunks, 1)
+    sizes = chunk_sizes(trials, chunks)
+    seqs = spawn_seed_sequences(seed, len(sizes))
+    tasks = [
+        (estimator, int(n), float(p), size, seq, dict(kwargs))
+        for size, seq in zip(sizes, seqs)
+    ]
+    return merge_estimates(parallel_map(_run_mc_chunk, tasks, workers=workers))

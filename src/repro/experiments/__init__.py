@@ -15,6 +15,13 @@ from repro.experiments.figures import (
     figure7_incompleteness,
     render_figure,
 )
+from repro.experiments.parallel import (
+    parallel_map,
+    run_scenario_summaries,
+    spawn_rngs,
+    spawn_seed_sequences,
+)
+from repro.experiments.repeat import RepeatedResult, repeat_scenario
 from repro.experiments.runner import ScenarioConfig, ScenarioResult, run_scenario
 from repro.experiments.scenarios import (
     single_cluster_validation,
@@ -31,6 +38,12 @@ __all__ = [
     "ScenarioConfig",
     "ScenarioResult",
     "run_scenario",
+    "RepeatedResult",
+    "repeat_scenario",
+    "parallel_map",
+    "run_scenario_summaries",
+    "spawn_rngs",
+    "spawn_seed_sequences",
     "single_cluster_validation",
     "validation_summary",
     "ablation_digest",

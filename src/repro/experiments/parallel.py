@@ -1,0 +1,63 @@
+"""Parallel experiment fabric: process-pool execution of scenario batches.
+
+This is the public face of the fabric; the generic machinery
+(:func:`parallel_map`, seed spawning, chunking) lives in
+:mod:`repro.util.parallel` and is re-exported here.  On top of it, this
+module adds the scenario-level entry point used by
+:func:`repro.experiments.repeat.repeat_scenario` and ad-hoc sweeps: map a
+list of :class:`ScenarioConfig` onto summary dicts, optionally across a
+process pool.
+
+Determinism guarantee
+---------------------
+Worker count never changes results.  A scenario run is a pure function of
+its config (every RNG stream derives from ``config.seed``), and
+:func:`parallel_map` preserves input order, so ``workers=8`` returns
+bit-identical summaries to ``workers=1`` for the same config list.  The
+regression tests in ``tests/test_experiments_parallel.py`` pin this down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.util.parallel import (
+    chunk_sizes,
+    parallel_map,
+    resolve_workers,
+    spawn_rngs,
+    spawn_seed_sequences,
+)
+
+__all__ = [
+    "chunk_sizes",
+    "parallel_map",
+    "resolve_workers",
+    "run_scenario_summaries",
+    "scenario_summary",
+    "spawn_rngs",
+    "spawn_seed_sequences",
+]
+
+
+def scenario_summary(config: ScenarioConfig) -> Dict[str, float]:
+    """Run one scenario and keep only its scalar summary.
+
+    Module-level (picklable) so it can cross a process boundary; dropping
+    the heavyweight :class:`ScenarioResult` in the worker keeps the
+    inter-process payload to a small dict of floats.
+    """
+    return run_scenario(config).summary()
+
+
+def run_scenario_summaries(
+    configs: Sequence[ScenarioConfig],
+    workers: Optional[int] = 1,
+) -> List[Dict[str, float]]:
+    """Summaries for each config, in input order.
+
+    ``workers=1`` runs serially in-process; ``workers=None`` uses all
+    CPUs.  Results are bit-identical for any worker count.
+    """
+    return parallel_map(scenario_summary, list(configs), workers=workers)

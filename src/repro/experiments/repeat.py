@@ -5,14 +5,20 @@ One seeded run can get lucky; credible protocol claims need replication.
 aggregates each summary metric with mean/min/max and the standard error,
 so benches and reports can state e.g. "completeness 1.0 across 20 seeds"
 instead of "completeness 1.0 once".
+
+Replications are independent, so they parallelize embarrassingly: pass
+``workers > 1`` to fan the per-seed runs over a process pool.  Each run
+derives all randomness from its own seed and results are aggregated in
+seed order, so the aggregate is bit-identical for any worker count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
+from repro.experiments.parallel import run_scenario_summaries
 from repro.experiments.runner import ScenarioConfig, run_scenario
 from repro.metrics.summary import SeriesSummary, summarize
 from repro.util.tables import render_table
@@ -51,16 +57,24 @@ class RepeatedResult:
 def repeat_scenario(
     config: ScenarioConfig,
     seeds: Sequence[int],
+    workers: Optional[int] = 1,
 ) -> RepeatedResult:
-    """Run ``config`` once per seed; aggregate the scalar summaries."""
+    """Run ``config`` once per seed; aggregate the scalar summaries.
+
+    ``workers=1`` (default) runs the seeds serially; larger values (or
+    ``None`` for all CPUs) fan the independent replications over a process
+    pool.  Summaries are always aggregated in seed order, so the result is
+    bit-identical for any worker count.
+    """
     if not seeds:
         raise ExperimentError("seeds must be non-empty")
     if len(set(seeds)) != len(seeds):
         raise ExperimentError("seeds must be distinct")
+    configs = [replace(config, seed=int(seed)) for seed in seeds]
+    summaries = run_scenario_summaries(configs, workers=workers)
     collected: Dict[str, List[float]] = {}
-    for seed in seeds:
-        result = run_scenario(replace(config, seed=int(seed)))
-        for key, value in result.summary().items():
+    for summary in summaries:
+        for key, value in summary.items():
             collected.setdefault(key, []).append(float(value))
     return RepeatedResult(
         config=config,

@@ -52,6 +52,9 @@ class ScenarioConfig:
     #: distributed formation over the lossy medium first.
     formation: str = "oracle"
     track_energy: bool = False
+    #: Radio hot-path selector; ``False`` runs the scalar reference loop
+    #: (same seeded results bit-for-bit, only slower -- see sim/medium.py).
+    vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.formation not in ("oracle", "protocol"):
@@ -117,6 +120,7 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
             transmission_range=config.transmission_range,
             loss_probability=config.loss_probability,
             seed=config.seed,
+            vectorized=config.vectorized,
         ),
         tracer=tracer,
     )

@@ -85,6 +85,22 @@ class Simulator:
             self._now + delay, callback, priority=priority, label=label
         )
 
+    def schedule_fire_and_forget(
+        self, time: SimTime, callback: Callable[[], None]
+    ) -> None:
+        """Schedule a *non-cancellable* callback at absolute time ``time``.
+
+        The hot path for high-fan-out producers (the radio medium schedules
+        one delivery per surviving receiver of every transmission): skips
+        the :class:`Event` handle allocation.  Ordering semantics are
+        identical to :meth:`schedule_at` at default priority.
+        """
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time} before current time t={self._now}"
+            )
+        self._queue.push_bare(time, callback)
+
     def cancel(self, event: Event) -> None:
         """Cancel a scheduled event; idempotent."""
         self._queue.cancel(event)
@@ -96,12 +112,12 @@ class Simulator:
         """
         if not self._queue:
             return False
-        event = self._queue.pop()
-        if event.time < self._now:  # pragma: no cover - guarded by schedule_at
+        time, _priority, _sequence, callback, _event = self._queue.pop_entry()
+        if time < self._now:  # pragma: no cover - guarded by schedule_at
             raise SimulationError("event queue yielded an event in the past")
-        self._now = event.time
+        self._now = time
         self._processed += 1
-        event.callback()
+        callback()
         return True
 
     def run_until(self, end_time: SimTime) -> None:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.errors import SchedulingError
@@ -24,21 +24,22 @@ from repro.types import SimTime
 DEFAULT_PRIORITY = 0
 
 
-@dataclass(order=True)
+@dataclass(slots=True)
 class Event:
     """A scheduled callback.
 
-    Ordering fields come first so the heap orders by time, then priority,
-    then insertion sequence.  The callback itself never participates in
-    comparisons.
+    The queue orders entries by ``(time, priority, sequence)`` -- the
+    ordering lives in the heap's C-compared key tuples, not on the event
+    itself, which keeps the hot ``push`` path free of Python-level
+    ``__lt__`` dispatch.  The callback never participates in comparisons.
     """
 
     time: SimTime
     priority: int
     sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
+    callback: Callable[[], None]
+    cancelled: bool = False
+    label: str = ""
 
     def cancel(self) -> None:
         """Mark this event so the queue skips it; idempotent."""
@@ -55,10 +56,21 @@ class Event:
 
 
 class EventQueue:
-    """A priority queue of :class:`Event` with lazy cancellation."""
+    """A priority queue of :class:`Event` with lazy cancellation.
+
+    Heap entries are ``(time, priority, sequence, event)`` tuples: the
+    unique sequence number breaks every tie before the (incomparable)
+    event is reached, so ``heappush`` orders entirely through C tuple
+    comparison -- the radio fan-out schedules tens of thousands of
+    deliveries per simulated second through this path.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        # Entries are (time, priority, sequence, callback, event-or-None);
+        # ``None`` marks a bare (non-cancellable) push from the fast path.
+        self._heap: list[
+            tuple[SimTime, int, int, Callable[[], None], Optional[Event]]
+        ] = []
         self._counter = itertools.count()
         self._live = 0
 
@@ -79,16 +91,27 @@ class EventQueue:
         """Schedule ``callback`` at ``time``; returns a cancellable handle."""
         if time != time:  # NaN check
             raise SchedulingError("event time is NaN")
-        event = Event(
-            time=time,
-            priority=priority,
-            sequence=next(self._counter),
-            callback=callback,
-            label=label,
-        )
-        heapq.heappush(self._heap, event)
+        sequence = next(self._counter)
+        event = Event(time, priority, sequence, callback, False, label)
+        heapq.heappush(self._heap, (time, priority, sequence, callback, event))
         self._live += 1
         return event
+
+    def push_bare(self, time: SimTime, callback: Callable[[], None]) -> None:
+        """Schedule a *non-cancellable* callback at ``time``; no handle.
+
+        The fast path for high-fan-out producers (radio deliveries): skips
+        the :class:`Event` allocation entirely.  Ordering is identical to
+        :meth:`push` -- bare and handled entries share one sequence
+        counter -- the entry just cannot be cancelled or labelled.
+        """
+        if time != time:  # NaN check
+            raise SchedulingError("event time is NaN")
+        heapq.heappush(
+            self._heap,
+            (time, DEFAULT_PRIORITY, next(self._counter), callback, None),
+        )
+        self._live += 1
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously pushed event; safe to call twice."""
@@ -99,18 +122,31 @@ class EventQueue:
     def peek_time(self) -> Optional[SimTime]:
         """Time of the next active event, or ``None`` if empty."""
         self._discard_cancelled()
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
-    def pop(self) -> Event:
-        """Remove and return the next active event.
+    def pop_entry(
+        self,
+    ) -> tuple[SimTime, int, int, Callable[[], None], Optional[Event]]:
+        """Remove and return the next active heap entry (the hot path).
 
         Raises :class:`SchedulingError` when empty.
         """
         self._discard_cancelled()
         if not self._heap:
             raise SchedulingError("pop from an empty event queue")
-        event = heapq.heappop(self._heap)
+        entry = heapq.heappop(self._heap)
         self._live -= 1
+        return entry
+
+    def pop(self) -> Event:
+        """Remove and return the next active event.
+
+        Bare entries (from :meth:`push_bare`) are wrapped in a synthetic
+        :class:`Event` for the caller's convenience.
+        """
+        time, priority, sequence, callback, event = self.pop_entry()
+        if event is None:
+            event = Event(time, priority, sequence, callback)
         return event
 
     def clear(self) -> None:
@@ -119,5 +155,9 @@ class EventQueue:
         self._live = 0
 
     def _discard_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heap[0][4]
+            if event is None or not event.cancelled:
+                break
+            heapq.heappop(heap)

@@ -21,7 +21,7 @@ Extensions beyond the paper (used by ablation and robustness studies):
 from __future__ import annotations
 
 import math
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -33,8 +33,9 @@ class LossModel:
     """Decides, per (sender, receiver, transmission), whether a copy is lost.
 
     Implementations must be *stateless across receivers* unless the model's
-    semantics require per-link state; the medium calls :meth:`is_lost` once
-    per potential receiver of each transmission.
+    semantics require per-link state; the medium calls :meth:`lost_mask`
+    once per transmission with every potential receiver, and the default
+    :meth:`lost_mask` falls back to one :meth:`is_lost` call per receiver.
     """
 
     def is_lost(
@@ -47,6 +48,35 @@ class LossModel:
     ) -> bool:
         raise NotImplementedError
 
+    def lost_mask(
+        self,
+        sender: NodeId,
+        receivers: Sequence[NodeId],
+        distances: np.ndarray,
+        time: SimTime,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Vectorized loss decision: one bool per receiver, in order.
+
+        The medium's hot path calls this once per transmission.  The
+        default implementation loops over :meth:`is_lost` in receiver
+        order, which is *exactly* equivalent for any model -- including
+        stateful ones like :class:`GilbertElliottLoss` (per-link Markov
+        state advances in the same order) and short-circuiting ones like
+        :class:`CompositeLoss` (RNG consumption per receiver is
+        preserved).  Stateless models override this with a single batched
+        RNG draw; overrides must consume the generator identically to the
+        sequential fallback (``rng.random(k)`` produces the same stream as
+        ``k`` scalar draws) so that vectorized and scalar simulation paths
+        stay bit-identical.
+        """
+        out = np.empty(len(receivers), dtype=bool)
+        for i, receiver in enumerate(receivers):
+            out[i] = self.is_lost(
+                sender, receiver, float(distances[i]), time, rng
+            )
+        return out
+
     def describe(self) -> str:
         """Human-readable parameterization, for experiment manifests."""
         return type(self).__name__
@@ -57,6 +87,10 @@ class PerfectLinks(LossModel):
 
     def is_lost(self, sender, receiver, distance, time, rng) -> bool:
         return False
+
+    def lost_mask(self, sender, receivers, distances, time, rng) -> np.ndarray:
+        # No RNG consumption, matching is_lost.
+        return np.zeros(len(receivers), dtype=bool)
 
     def describe(self) -> str:
         return "PerfectLinks()"
@@ -80,6 +114,15 @@ class BernoulliLoss(LossModel):
             return True
         return bool(rng.uniform() < self.p)
 
+    def lost_mask(self, sender, receivers, distances, time, rng) -> np.ndarray:
+        k = len(receivers)
+        # The p in {0, 1} shortcuts consume no randomness, like is_lost.
+        if self.p == 0.0:
+            return np.zeros(k, dtype=bool)
+        if self.p == 1.0:
+            return np.ones(k, dtype=bool)
+        return rng.random(k) < self.p
+
     def describe(self) -> str:
         return f"BernoulliLoss(p={self.p})"
 
@@ -93,6 +136,9 @@ class GilbertElliottLoss(LossModel):
     stationary loss rate is ``(p_bg*p_good + p_gb*p_bad) / (p_gb + p_bg)``,
     exposed as :attr:`stationary_loss_rate` so sweeps can match the mean
     loss of a Bernoulli model while varying burstiness.
+
+    Deliberately relies on the sequential :meth:`LossModel.lost_mask`
+    fallback: per-link Markov state must advance one receiver at a time.
     """
 
     GOOD = 0
@@ -175,6 +221,19 @@ class DistanceDependentLoss(LossModel):
     def is_lost(self, sender, receiver, distance, time, rng) -> bool:
         return bool(rng.uniform() < self.loss_probability(distance))
 
+    def lost_mask(self, sender, receivers, distances, time, rng) -> np.ndarray:
+        frac = np.clip(
+            np.asarray(distances, dtype=np.float64) / self.transmission_range,
+            0.0,
+            1.0,
+        )
+        p = np.clip(
+            self.p_near + (self.p_far - self.p_near) * frac**self.exponent,
+            0.0,
+            1.0,
+        )
+        return rng.random(len(receivers)) < p
+
     def describe(self) -> str:
         return (
             f"DistanceDependentLoss(range={self.transmission_range}, "
@@ -183,7 +242,13 @@ class DistanceDependentLoss(LossModel):
 
 
 class CompositeLoss(LossModel):
-    """A copy survives only if it survives *every* component model."""
+    """A copy survives only if it survives *every* component model.
+
+    Deliberately relies on the sequential :meth:`LossModel.lost_mask`
+    fallback: ``any`` short-circuits, so RNG consumption depends on which
+    component first declares a loss -- a batched OR over component masks
+    would draw differently and break scalar/vectorized bit-identity.
+    """
 
     def __init__(self, *models: LossModel) -> None:
         if not models:

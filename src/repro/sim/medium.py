@@ -9,7 +9,7 @@ Semantics follow Section 2.3 of the paper:
 - each copy is lost independently according to the installed
   :class:`~repro.sim.loss.LossModel` (probability ``p`` in the paper);
 - a delivered copy arrives within the per-hop bound ``Thop`` (we draw the
-  delay uniformly from ``(epsilon, thop_fraction * Thop]`` so all
+  delay uniformly from the half-open interval ``(0, max_delay]`` so all
   round-based deadlines in the protocol hold, matching the paper's timing
   assumption 2 in Section 2.2).
 
@@ -17,13 +17,31 @@ The medium also maintains the neighbor structure (via a spatial grid hash,
 so building a 1000-node network does not cost O(n^2) distance checks) and
 exposes it read-only to protocols *only* through what they can hear --
 protocol code never peeks at ground truth.
+
+Hot-path design
+---------------
+``transmit`` is the single hottest function in any full-stack run: every
+heartbeat, digest, and gossip fans out over it.  The default *vectorized*
+path draws the loss outcome for every in-range receiver with one batched
+RNG call (:meth:`LossModel.lost_mask`) and all delivery delays with a
+second, against a per-sender cached ``(neighbors, distances)`` array pair
+(invalidated together with the neighbor cache on any topology change).
+
+A *scalar* reference path (``vectorized=False``) keeps the pre-vectorization
+per-receiver loop -- one RNG draw, one distance recomputation, and one
+tracer dispatch per receiver -- for regression benchmarks and determinism
+tests.  Both paths follow the same canonical draw schedule (all loss draws
+in ascending receiver order, then all delay draws for the surviving
+receivers), and batched NumPy doubles consume the bit stream exactly like
+sequential scalar draws, so the two paths are bit-identical for any seed.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from functools import partial
+from itertools import compress
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Set, Tuple
 
 import numpy as np
 
@@ -36,14 +54,16 @@ from repro.util.geometry import Vec2
 from repro.util.validation import check_positive, check_range
 
 
-@dataclass(frozen=True, slots=True)
-class Envelope:
+class Envelope(NamedTuple):
     """A delivered copy of a transmission, as seen by one receiver.
 
     ``overheard`` is ``True`` when the receiver was not the intended
     recipient -- the paper's "inherent message redundancy" that digests
     exploit.  ``recipient is None`` means an intentional broadcast, in which
     case no copy is marked overheard.
+
+    A ``NamedTuple`` rather than a dataclass: one envelope is allocated
+    per delivered copy, so construction sits on the radio hot path.
     """
 
     sender: NodeId
@@ -57,6 +77,20 @@ class Envelope:
 DeliveryHandler = Callable[[Envelope], None]
 
 
+def draw_delays(
+    rng: np.random.Generator, max_delay: float, size: int
+) -> np.ndarray:
+    """``size`` delivery delays, uniform on the half-open ``(0, max_delay]``.
+
+    ``rng.random()`` is uniform on ``[0, 1)``, so ``max_delay * (1 - u)``
+    lands exactly in ``(0, max_delay]`` -- no zero-delay remapping hack
+    needed, and the per-hop bound is met with equality only when the
+    underlying draw is exactly 0.  A batch of ``size`` doubles consumes the
+    generator identically to ``size`` scalar draws.
+    """
+    return max_delay * (1.0 - rng.random(size))
+
+
 class RadioMedium:
     """The single shared broadcast channel of the simulated network."""
 
@@ -68,6 +102,7 @@ class RadioMedium:
         rng: Optional[np.random.Generator] = None,
         max_delay: float = 0.1,
         tracer: Optional[Tracer] = None,
+        vectorized: bool = True,
     ) -> None:
         self.sim = sim
         self.transmission_range = check_positive(
@@ -79,13 +114,21 @@ class RadioMedium:
         #: protocol round duration chosen >= this bound).
         self.max_delay = check_positive("max_delay", max_delay)
         self.tracer = tracer if tracer is not None else NullTracer()
+        #: ``True`` uses the batched-RNG fan-out; ``False`` the per-receiver
+        #: reference loop.  Both produce bit-identical runs (see module doc).
+        self.vectorized = bool(vectorized)
 
         self._positions: Dict[NodeId, Vec2] = {}
         self._handlers: Dict[NodeId, DeliveryHandler] = {}
         self._receiving: Dict[NodeId, bool] = {}
+        #: Nodes currently muted; empty set enables the no-filter fast path.
+        self._muted: Set[NodeId] = set()
         self._cell_size = self.transmission_range
-        self._grid: Dict[Tuple[int, int], List[NodeId]] = defaultdict(list)
+        self._grid: Dict[Tuple[int, int], Set[NodeId]] = defaultdict(set)
         self._neighbor_cache: Optional[Dict[NodeId, Tuple[NodeId, ...]]] = None
+        #: Per-sender (neighbors, distances) arrays; invalidated together
+        #: with ``_neighbor_cache`` on every topology change.
+        self._array_cache: Dict[NodeId, Tuple[Tuple[NodeId, ...], np.ndarray]] = {}
         # Counters for metrics.
         self.transmissions = 0
         self.deliveries = 0
@@ -103,8 +146,8 @@ class RadioMedium:
         self._positions[node_id] = position
         self._handlers[node_id] = handler
         self._receiving[node_id] = True
-        self._grid[self._cell_of(position)].append(node_id)
-        self._neighbor_cache = None
+        self._grid[self._cell_of(position)].add(node_id)
+        self._invalidate_topology()
 
     def unregister(self, node_id: NodeId) -> None:
         """Detach a node entirely (e.g. permanent removal from the field)."""
@@ -113,24 +156,29 @@ class RadioMedium:
             raise MediumError(f"node {node_id} is not registered")
         del self._handlers[node_id]
         del self._receiving[node_id]
-        self._grid[self._cell_of(position)].remove(node_id)
-        self._neighbor_cache = None
+        self._muted.discard(node_id)
+        self._grid[self._cell_of(position)].discard(node_id)
+        self._invalidate_topology()
 
     def set_receiving(self, node_id: NodeId, receiving: bool) -> None:
         """Mute/unmute a node's receiver (crashed nodes hear nothing)."""
         if node_id not in self._receiving:
             raise MediumError(f"node {node_id} is not registered")
         self._receiving[node_id] = receiving
+        if receiving:
+            self._muted.discard(node_id)
+        else:
+            self._muted.add(node_id)
 
     def move(self, node_id: NodeId, position: Vec2) -> None:
         """Relocate a node (mobility extension)."""
         old = self._positions.get(node_id)
         if old is None:
             raise MediumError(f"node {node_id} is not registered")
-        self._grid[self._cell_of(old)].remove(node_id)
+        self._grid[self._cell_of(old)].discard(node_id)
         self._positions[node_id] = position
-        self._grid[self._cell_of(position)].append(node_id)
-        self._neighbor_cache = None
+        self._grid[self._cell_of(position)].add(node_id)
+        self._invalidate_topology()
 
     def position_of(self, node_id: NodeId) -> Vec2:
         """Ground-truth position (for metrics/tests, not protocol logic)."""
@@ -144,7 +192,7 @@ class RadioMedium:
         return tuple(sorted(self._positions))
 
     def neighbors_of(self, node_id: NodeId) -> Tuple[NodeId, ...]:
-        """One-hop neighbors of a node (ground truth, cached)."""
+        """One-hop neighbors of a node (ground truth, cached, sorted)."""
         if self._neighbor_cache is None:
             self._build_neighbor_cache()
         assert self._neighbor_cache is not None
@@ -153,9 +201,39 @@ class RadioMedium:
         except KeyError:
             raise MediumError(f"node {node_id} is not registered") from None
 
+    def neighbor_arrays(
+        self, node_id: NodeId
+    ) -> Tuple[Tuple[NodeId, ...], np.ndarray]:
+        """Cached ``(neighbors, distances)`` for a sender, id-aligned.
+
+        ``distances[i]`` is the ground-truth distance to ``neighbors[i]``;
+        the pair is built lazily per sender and dropped whenever the
+        topology changes (register / unregister / move).
+        """
+        entry = self._array_cache.get(node_id)
+        if entry is None:
+            neighbors = self.neighbors_of(node_id)
+            position = self._positions[node_id]
+            distances = np.fromiter(
+                (
+                    position.distance_to(self._positions[other])
+                    for other in neighbors
+                ),
+                dtype=np.float64,
+                count=len(neighbors),
+            )
+            entry = (neighbors, distances)
+            self._array_cache[node_id] = entry
+        return entry
+
     def distance(self, a: NodeId, b: NodeId) -> float:
         """Ground-truth distance between two registered nodes."""
         return self.position_of(a).distance_to(self.position_of(b))
+
+    def _invalidate_topology(self) -> None:
+        """Drop every structure derived from positions, atomically."""
+        self._neighbor_cache = None
+        self._array_cache.clear()
 
     # ------------------------------------------------------------------
     # Transmission
@@ -176,10 +254,83 @@ class RadioMedium:
             raise MediumError(f"sender {sender} is not registered")
         if recipient is not None and recipient not in self._positions:
             raise MediumError(f"recipient {recipient} is not registered")
+        if not self.vectorized:
+            return self._transmit_scalar(sender, payload, recipient)
+
+        now = self.sim.now
+        self.transmissions += 1
+        tracer = self.tracer
+        tracing = tracer.enabled
+        if tracing:
+            tracer.record(now, "radio.tx", node=int(sender), recipient=recipient)
+
+        neighbors, distances = self.neighbor_arrays(sender)
+        if not neighbors:
+            return 0
+        if self._muted:
+            receiving = self._receiving
+            flags = [receiving[r] for r in neighbors]
+            eligible: Tuple[NodeId, ...] = tuple(compress(neighbors, flags))
+            if not eligible:
+                return 0
+            distances = distances[np.fromiter(flags, dtype=bool, count=len(flags))]
+        else:
+            eligible = neighbors
+
+        lost = self.loss_model.lost_mask(
+            sender, eligible, distances, now, self.rng
+        )
+        n_lost = int(np.count_nonzero(lost))
+        if n_lost:
+            self.losses += n_lost
+            if tracing:
+                for receiver in compress(eligible, lost):
+                    tracer.record(
+                        now, "radio.loss", node=int(receiver), sender=int(sender)
+                    )
+            survivors = list(compress(eligible, np.logical_not(lost)))
+        else:
+            survivors = list(eligible)
+        if not survivors:
+            return 0
+
+        received_at = (
+            now + draw_delays(self.rng, self.max_delay, len(survivors))
+        ).tolist()
+        schedule = self.sim.schedule_fire_and_forget
+        deliver = self._deliver
+        unicast = recipient is not None
+        for receiver, when in zip(survivors, received_at):
+            envelope = Envelope(
+                sender,
+                recipient,
+                payload,
+                now,
+                when,
+                unicast and receiver != recipient,
+            )
+            schedule(when, partial(deliver, receiver, envelope))
+        return len(survivors)
+
+    def _transmit_scalar(
+        self,
+        sender: NodeId,
+        payload: object,
+        recipient: Optional[NodeId],
+    ) -> int:
+        """Reference per-receiver fan-out (the pre-vectorization hot path).
+
+        Follows the same canonical draw schedule as the vectorized path --
+        all loss draws first (ascending receiver id), then all delay draws
+        for the survivors -- so a seeded run is bit-identical under either
+        path.  Everything else is deliberately naive: per-receiver distance
+        recomputation, per-receiver scalar RNG calls, unconditional tracer
+        dispatch.
+        """
         now = self.sim.now
         self.transmissions += 1
         self.tracer.record(now, "radio.tx", node=int(sender), recipient=recipient)
-        delivered = 0
+        survivors: List[NodeId] = []
         for receiver in self.neighbors_of(sender):
             if not self._receiving[receiver]:
                 continue
@@ -190,9 +341,10 @@ class RadioMedium:
                     now, "radio.loss", node=int(receiver), sender=int(sender)
                 )
                 continue
-            delay = float(self.rng.uniform(0.0, self.max_delay))
-            if delay == 0.0:
-                delay = self.max_delay * 1e-9
+            survivors.append(receiver)
+        delivered = 0
+        for receiver in survivors:
+            delay = float(self.max_delay * (1.0 - self.rng.random()))
             envelope = Envelope(
                 sender=sender,
                 recipient=recipient,
@@ -205,12 +357,12 @@ class RadioMedium:
             delivered += 1
         return delivered
 
-    def _schedule_delivery(self, receiver: NodeId, envelope: Envelope) -> None:
-        def deliver() -> None:
-            # Receiver may have crashed/unregistered since the copy left.
-            if not self._receiving.get(receiver, False):
-                return
-            self.deliveries += 1
+    def _deliver(self, receiver: NodeId, envelope: Envelope) -> None:
+        # Receiver may have crashed/unregistered since the copy left.
+        if not self._receiving.get(receiver, False):
+            return
+        self.deliveries += 1
+        if self.tracer.enabled:
             self.tracer.record(
                 envelope.received_at,
                 "radio.rx",
@@ -218,10 +370,13 @@ class RadioMedium:
                 sender=int(envelope.sender),
                 overheard=envelope.overheard,
             )
-            self._handlers[receiver](envelope)
+        self._handlers[receiver](envelope)
 
-        self.sim.schedule_in(
-            envelope.received_at - self.sim.now, deliver, label="radio.delivery"
+    def _schedule_delivery(self, receiver: NodeId, envelope: Envelope) -> None:
+        self.sim.schedule_at(
+            envelope.received_at,
+            partial(self._deliver, receiver, envelope),
+            label="radio.delivery",
         )
 
     # ------------------------------------------------------------------
@@ -249,6 +404,8 @@ class RadioMedium:
                 if other != node_id
                 and position.distance_to(self._positions[other]) <= r
             ]
+            # Cells are unordered sets; sort so neighbor tuples (and every
+            # iteration the protocols do over them) stay deterministic.
             cache[node_id] = tuple(sorted(neighbors))
         self._neighbor_cache = cache
 

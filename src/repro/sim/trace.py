@@ -32,7 +32,17 @@ class TraceRecord:
 
 
 class Tracer:
-    """Interface: receives trace records; subclasses decide what to keep."""
+    """Interface: receives trace records; subclasses decide what to keep.
+
+    ``enabled`` is a class-level fast-path flag: hot loops (the radio
+    medium's transmit fan-out) consult it *before* assembling a record, so
+    a disabled tracer costs a single attribute load per event instead of a
+    :class:`TraceRecord` allocation.  Subclasses that discard everything
+    (:class:`NullTracer`) set it to ``False``; emitting to a tracer whose
+    ``enabled`` is ``False`` is still safe, just wasted work.
+    """
+
+    enabled: bool = True
 
     def emit(self, record: TraceRecord) -> None:
         raise NotImplementedError
@@ -51,7 +61,19 @@ class Tracer:
 class NullTracer(Tracer):
     """Discards everything; the zero-overhead default."""
 
+    enabled = False
+
     def emit(self, record: TraceRecord) -> None:
+        pass
+
+    def record(
+        self,
+        time: SimTime,
+        kind: str,
+        node: Optional[int] = None,
+        **detail: object,
+    ) -> None:
+        # Overridden to skip even the TraceRecord construction.
         pass
 
 

@@ -1,0 +1,100 @@
+"""Deterministic process-pool fan-out for experiments and estimators.
+
+The fabric has one rule: **worker count never changes results**.  Every
+entry point here is an order-preserving map over an explicit task list, so
+the aggregation downstream sees the same values in the same order whether
+the tasks ran in-process (``workers=1``) or across a pool -- the
+bit-identical guarantee the regression tests pin down.
+
+Randomness is never shared across tasks.  Each task derives its own
+:class:`numpy.random.SeedSequence` child (via :func:`spawn_seed_sequences`)
+from a single root seed, so per-task streams are independent *and*
+reproducible regardless of which process consumes them.
+
+Lives in ``repro.util`` so that analysis modules can use it without
+importing the experiment package (which itself imports analysis); the
+public face for experiment code is :mod:`repro.experiments.parallel`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count knob: ``None`` means "all CPUs"."""
+    if workers is None:
+        return max(1, os.cpu_count() or 1)
+    workers = int(workers)
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    workers: Optional[int] = 1,
+) -> List[R]:
+    """Map ``fn`` over ``items``, preserving input order.
+
+    ``workers <= 1`` (the default) runs serially in-process; larger values
+    fan out over a :class:`~concurrent.futures.ProcessPoolExecutor`, which
+    requires ``fn`` and every item to be picklable (module-level functions
+    and frozen dataclass configs are; lambdas and closures are not).
+    Results arrive in input order either way, so downstream aggregation is
+    independent of the worker count.
+    """
+    tasks = list(items)
+    count = resolve_workers(workers)
+    if count <= 1 or len(tasks) <= 1:
+        return [fn(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=min(count, len(tasks))) as pool:
+        return list(pool.map(fn, tasks))
+
+
+def spawn_seed_sequences(
+    root_seed: int, count: int
+) -> List[np.random.SeedSequence]:
+    """``count`` independent child sequences of one root seed.
+
+    Uses :meth:`numpy.random.SeedSequence.spawn`, the recommended scheme
+    for parallel streams: children are statistically independent of each
+    other and of the parent, and the mapping (root_seed, index) -> stream
+    is stable across processes and platforms.
+    """
+    if count < 1:
+        raise ExperimentError(f"count must be >= 1, got {count}")
+    return np.random.SeedSequence(int(root_seed)).spawn(int(count))
+
+
+def spawn_rngs(root_seed: int, count: int) -> List[np.random.Generator]:
+    """``count`` independent, reproducible generators from one root seed."""
+    return [
+        np.random.default_rng(seq)
+        for seq in spawn_seed_sequences(root_seed, count)
+    ]
+
+
+def chunk_sizes(total: int, chunks: int) -> List[int]:
+    """Split ``total`` into ``chunks`` balanced positive parts (sum exact).
+
+    The split depends only on ``(total, chunks)`` -- never on the worker
+    count -- so chunked estimators stay deterministic under any pool size.
+    """
+    if total < 1:
+        raise ExperimentError(f"total must be >= 1, got {total}")
+    if chunks < 1:
+        raise ExperimentError(f"chunks must be >= 1, got {chunks}")
+    chunks = min(chunks, total)
+    base, extra = divmod(total, chunks)
+    return [base + (1 if i < extra else 0) for i in range(chunks)]

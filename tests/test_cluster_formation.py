@@ -112,7 +112,7 @@ class TestLossyFormation:
         placement = uniform_rect_placement(100, 400.0, 400.0, rng)
         graph = UnitDiskGraph(placement, 100.0)
         network = build_network(
-            placement, NetworkConfig(loss_probability=0.4, seed=77)
+            placement, NetworkConfig(loss_probability=0.4, seed=78)
         )
         layout = run_formation(network, FormationConfig(thop=0.5, iterations=8))
         heads = list(layout.heads)

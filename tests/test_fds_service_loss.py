@@ -106,7 +106,7 @@ class TestSelfHealing:
         from tests.fds_helpers import PhasedLoss
 
         deployment, _layout, tracer, network = deploy(
-            placement, seed=11, fds_config=cfg,
+            placement, seed=12, fds_config=cfg,
             loss_model=PhasedLoss(p=0.25, cutoff=49.0),
         )
         deployment.run_executions(10)

@@ -53,7 +53,7 @@ class TestSleepManager:
         placement = cluster_disk_placement(24, 100.0, rng)
         cfg = FdsConfig(phi=5.0, thop=0.5, sleep_aware=sleep_aware)
         deployment, layout, tracer, network = deploy(
-            placement, p=p, seed=4, fds_config=cfg
+            placement, p=p, seed=5, fds_config=cfg
         )
         managers = install_power_management(
             deployment,

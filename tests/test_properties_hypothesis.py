@@ -64,7 +64,8 @@ def test_event_queue_cancellation_removes_exactly_those(specs, to_cancel):
     survivors = []
     while q:
         survivors.append(q.pop().sequence)
-    expected = [e.sequence for e in sorted(events) if e.sequence not in cancelled]
+    ordered = sorted(events, key=lambda e: (e.time, e.priority, e.sequence))
+    expected = [e.sequence for e in ordered if e.sequence not in cancelled]
     assert survivors == expected
 
 
