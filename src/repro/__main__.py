@@ -13,6 +13,11 @@ Commands
     scored summary.
 ``reachability``
     Print the DCH reachability study (the analysis the paper summarizes).
+``soak``
+    Randomized differential conformance soak: seeded scenarios run under
+    paired configurations (vectorized/scalar, parallel/serial, digest
+    ablation) with ground-truth oracles and trace audits; violations are
+    shrunk to minimal seeded repros written as pytest files.
 """
 
 from __future__ import annotations
@@ -114,6 +119,30 @@ def _cmd_reachability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.audit.soak import SoakOptions, run_soak
+
+    options = SoakOptions(
+        iterations=args.iterations,
+        seed=args.seed,
+        out_dir=Path(args.out) if args.out else None,
+        check_parallel=not args.serial,
+        max_shrink_evals=args.shrink_evals,
+        max_violations=args.max_violations,
+    )
+    result = run_soak(options, log=print)
+    print(
+        f"soak: {result.iterations} iteration(s) in {result.elapsed:.1f}s, "
+        f"{len(result.failures)} violation(s)"
+    )
+    for failure in result.failures:
+        print(f"--- shrunk repro (seed {failure.shrunk.seed}) ---")
+        print(failure.snippet)
+    return 0 if result.clean else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -146,6 +175,20 @@ def main(argv: list[str] | None = None) -> int:
     reach = sub.add_parser("reachability", help="DCH reachability study")
     reach.add_argument("--p", type=float, default=0.1)
 
+    soak = sub.add_parser(
+        "soak", help="differential conformance soak (seeded, shrinking)"
+    )
+    soak.add_argument("--iterations", type=int, default=10)
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--out", type=str, default="",
+                      help="directory for shrunk repro .py files")
+    soak.add_argument("--serial", action="store_true",
+                      help="skip the parallel-fabric differential pair")
+    soak.add_argument("--shrink-evals", type=int, default=24,
+                      help="re-check budget while shrinking a violation")
+    soak.add_argument("--max-violations", type=int, default=1,
+                      help="stop after this many violations (0 = keep going)")
+
     args = parser.parse_args(argv)
     handlers = {
         "figures": _cmd_figures,
@@ -153,6 +196,7 @@ def main(argv: list[str] | None = None) -> int:
         "validate": _cmd_validate,
         "scenario": _cmd_scenario,
         "reachability": _cmd_reachability,
+        "soak": _cmd_soak,
     }
     return handlers[args.command](args)
 

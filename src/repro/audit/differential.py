@@ -1,0 +1,542 @@
+"""Differential conformance checking of whole scenario runs.
+
+One seeded :class:`ScenarioSpec` describes a complete experiment
+(topology, crash schedule, loss model).  :func:`check_spec` runs it under
+paired configurations and asserts what each pair promises:
+
+- **vectorized vs scalar medium**: bit-identical traces (the scalar loop
+  is the reference implementation of the same seeded draws);
+- **parallel vs serial fabric**: identical summaries (the process pool
+  must not perturb results);
+- **digest ablation (R-2 off)**: no bit-identity promise -- instead both
+  runs must satisfy every applicable trace audit;
+
+plus ground-truth oracles on the primary run:
+
+- **completeness**: under a loss model whose total drop budget is below
+  the forwarding machinery's tolerance (``max_forward_retries`` drops can
+  never exhaust the GW ladder *and* the origin watch), every injected
+  crash must be known to every operational clustered node by the end;
+- **accuracy**: a detection of a node that is operational at the end must
+  be refuted, unless it happened inside the final recovery window (where
+  the refutation legitimately falls past the horizon);
+
+plus the trace audits of :mod:`repro.audit.invariants` and a directed
+:func:`probe_forwarder_conformance` that drives an
+:class:`~repro.fds.intercluster.InterclusterForwarder` with crafted
+seeded traffic (merged duties, partial acknowledgment coverage, inbound
+retries) and replays the recorded events through the reference model --
+the divergences such probes target are too rare in end-to-end runs for a
+random soak to find.
+
+When a violation is found, :func:`shrink_spec` greedily reduces the
+scenario (fewer executions, clusters, members, crashes; simpler loss)
+while the violation reproduces, and :func:`repro_snippet` renders the
+minimal spec as a ready-to-paste pytest case.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.audit.invariants import run_audit_statuses
+from repro.experiments.parallel import run_scenario_summaries
+from repro.experiments.runner import ScenarioConfig, ScenarioResult, run_scenario
+from repro.fds.config import FdsConfig
+from repro.fds.events import DETECTION, REFUTATION
+from repro.fds.intercluster import InterclusterForwarder
+from repro.fds.messages import FailureReport, HealthStatusUpdate
+from repro.sim.engine import Simulator
+from repro.sim.medium import RadioMedium
+from repro.sim.node import SimNode
+from repro.sim.trace import RecordingTracer, records_to_jsonl
+from repro.util.geometry import Vec2
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A seeded, self-contained scenario for differential checking.
+
+    Everything :func:`check_spec` runs derives deterministically from
+    these fields, so a spec *is* a repro: same spec, same verdict.
+    ``phi`` is deliberately generous relative to ``thop`` so the
+    round-structure audit stays applicable (the simulator is
+    event-driven; a long idle tail costs no wall-clock).
+    """
+
+    seed: int = 0
+    cluster_count: int = 4
+    members_per_cluster: int = 12
+    crash_count: int = 2
+    executions: int = 5
+    loss_kind: str = "perfect"
+    loss_p: float = 0.3
+    loss_budget: int = 2
+    spacing_factor: float = 1.25
+    max_backups: int = 2
+    phi: float = 20.0
+    thop: float = 0.5
+
+    def fds_config(self, use_digests: bool = True) -> FdsConfig:
+        return FdsConfig(phi=self.phi, thop=self.thop, use_digests=use_digests)
+
+    def loss_params(self) -> Tuple[Tuple[str, float], ...]:
+        if self.loss_kind == "bounded":
+            return (("p", self.loss_p), ("budget", float(self.loss_budget)))
+        if self.loss_kind == "bernoulli":
+            return (("p", self.loss_p),)
+        return ()
+
+    def to_config(
+        self, vectorized: bool = True, use_digests: bool = True
+    ) -> ScenarioConfig:
+        return ScenarioConfig(
+            cluster_count=self.cluster_count,
+            members_per_cluster=self.members_per_cluster,
+            crash_count=self.crash_count,
+            executions=self.executions,
+            seed=self.seed,
+            loss_kind=self.loss_kind,
+            loss_params=self.loss_params(),
+            spacing_factor=self.spacing_factor,
+            max_backups=self.max_backups,
+            vectorized=vectorized,
+            fds=self.fds_config(use_digests=use_digests),
+        )
+
+
+def random_spec(rng: np.random.Generator) -> ScenarioSpec:
+    """Sample one scenario from the soak distribution.
+
+    Biased toward tight 2x2 lattices (multi-boundary gateways, the
+    geometry where inter-cluster forwarding earns its keep) and toward
+    the bounded-adversary loss model, under which completeness is a hard
+    guarantee rather than a probabilistic one.
+    """
+    loss_kind = str(rng.choice(["perfect", "bounded", "bounded", "bernoulli"]))
+    return ScenarioSpec(
+        seed=int(rng.integers(0, 2**31 - 1)),
+        cluster_count=int(rng.choice([2, 3, 4, 4])),
+        members_per_cluster=int(rng.integers(8, 17)),
+        crash_count=int(rng.integers(0, 4)),
+        executions=int(rng.integers(4, 8)),
+        loss_kind=loss_kind,
+        loss_p=float(rng.choice([0.15, 0.25, 0.35])),
+        loss_budget=int(rng.integers(1, 3)),
+        spacing_factor=float(rng.choice([1.25, 1.4, 1.6])),
+        max_backups=int(rng.choice([1, 2, 3])),
+    )
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One conformance failure of a spec."""
+
+    kind: str
+    description: str
+
+
+def trace_fingerprint(tracer: RecordingTracer) -> str:
+    """Stable digest of a full trace (the bit-identity currency)."""
+    payload = records_to_jsonl(tracer.records)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Oracles
+# ----------------------------------------------------------------------
+def completeness_guaranteed(spec: ScenarioSpec) -> bool:
+    """Whether the spec's loss model makes completeness deterministic.
+
+    Blocking one boundary crossing costs at least ``max_forward_retries
+    + 1`` targeted drops (the GW's attempts alone), and the origin watch
+    re-triggers the whole ladder besides -- so any adversary limited to
+    ``max_forward_retries`` total drops cannot prevent eventual
+    propagation.  Under unbounded Bernoulli loss the paper only promises
+    probabilistic completeness, so the oracle would be unsound.
+    """
+    if spec.loss_kind == "perfect":
+        return True
+    if spec.loss_kind == "bounded":
+        return spec.loss_budget <= spec.fds_config().max_forward_retries
+    return False
+
+
+def completeness_violations(
+    spec: ScenarioSpec, result: ScenarioResult
+) -> List[Violation]:
+    if not completeness_guaranteed(spec):
+        return []
+    return [
+        Violation(
+            kind="completeness",
+            description=(
+                f"crash of node {int(nid)} unknown to some operational "
+                f"node at the end despite loss within the drop budget"
+            ),
+        )
+        for nid in result.properties.incomplete_failures
+    ]
+
+
+def accuracy_violations(
+    spec: ScenarioSpec, result: ScenarioResult
+) -> List[Violation]:
+    """False suspicions must be refuted (or fall in the final window).
+
+    Trace-based: pair every detection of a node that is operational at
+    the end with a later refutation *somewhere*.  A detection inside the
+    last ``recovery window`` before the horizon may legitimately still be
+    awaiting its repair, so it is excused; when the run had no actual
+    drops there is no excuse and the final-state report must be clean.
+    """
+    config = spec.fds_config()
+    horizon = result.network.sim.now
+    window = (config.max_forward_retries + 1) * config.phi
+    operational = set(result.network.operational_ids())
+    refuted_at: dict = {}
+    for record in result.tracer.iter_kind(REFUTATION):
+        target = int(record.detail["target"])
+        refuted_at.setdefault(target, []).append(record.time)
+    violations: List[Violation] = []
+    for record in result.tracer.iter_kind(DETECTION):
+        target = int(record.detail["target"])
+        if target not in operational:
+            continue
+        if any(t >= record.time for t in refuted_at.get(target, [])):
+            continue
+        if record.time > horizon - window:
+            continue  # refutation legitimately past the horizon
+        violations.append(
+            Violation(
+                kind="accuracy",
+                description=(
+                    f"node {record.node} detected operational node "
+                    f"{target} at t={record.time:.3f} with no refutation "
+                    f"in the remaining {horizon - record.time:.1f}s"
+                ),
+            )
+        )
+    if result.messages.losses == 0:
+        violations.extend(
+            Violation(
+                kind="accuracy",
+                description=(
+                    f"node {int(a)} still suspects operational node "
+                    f"{int(b)} at the end of a loss-free run"
+                ),
+            )
+            for a, b in result.properties.accuracy_violations
+        )
+    return violations
+
+
+def audit_violations(
+    spec: ScenarioSpec, result: ScenarioResult, label: str
+) -> List[Violation]:
+    violations: List[Violation] = []
+    for status in run_audit_statuses(
+        result.tracer, result.config.fds, result.crash_times
+    ):
+        violations.extend(
+            Violation(
+                kind=f"audit:{finding.audit}",
+                description=f"[{label}] {finding.description}",
+            )
+            for finding in status.findings
+        )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Directed forwarder-conformance probes
+# ----------------------------------------------------------------------
+def probe_forwarder_conformance(spec: ScenarioSpec) -> List[Violation]:
+    """Drive a forwarder through the rare paths and replay the trace.
+
+    Three seeded probes on a tiny synthetic medium:
+
+    1. **merged duties**: two local updates with disjoint news toward the
+       same destination while the first timer is in flight -- the re-armed
+       watch must keep covering the first update's failures;
+    2. **inbound retry**: a foreign update starts a duty toward our own
+       CH which is never acknowledged -- every retry wait must follow the
+       *origin* boundary's BGW ladder, not another boundary's;
+    3. **origin watch**: a CH's multi-failure watch acknowledged by two
+       partial overheard reports -- coverage must accumulate (a lone
+       superset match would rebroadcast spuriously).
+
+    The recorded events go through the same
+    :func:`~repro.audit.invariants.audit_forwarder_conformance` model as
+    end-to-end traces, so a reintroduced forwarding bug fails here even
+    when the random topology never exercises it.
+    """
+    rng = np.random.default_rng(spec.seed)
+    config = spec.fds_config()
+    ids = [int(x) for x in rng.permutation(np.arange(10, 90))[:8]]
+    my_id, my_head, peer_b, peer_c, f1, f2, f3, _spare = ids
+    violations: List[Violation] = []
+
+    def fresh_node() -> Tuple[Simulator, SimNode, RecordingTracer]:
+        sim = Simulator()
+        tracer = RecordingTracer()
+        medium = RadioMedium(
+            sim, transmission_range=100.0, max_delay=0.01, tracer=tracer
+        )
+        node = SimNode(my_id, Vec2(0, 0), sim, medium)
+        for i, other in enumerate((my_head, peer_b, peer_c)):
+            SimNode(other, Vec2(5000.0 + 300.0 * i, 5000.0), sim, medium)
+        return sim, node, tracer
+
+    def forwarder(node: SimNode, duties, head_boundaries=()):
+        return InterclusterForwarder(
+            node,
+            config,
+            duties=dict(duties),
+            head_boundaries=dict(head_boundaries),
+            get_head=lambda: my_head,
+            get_history=lambda: frozenset(),
+            rebroadcast_update=lambda: None,
+        )
+
+    def run_probe(name: str, drive: Callable[[Simulator, SimNode], None]) -> None:
+        sim, node, tracer = fresh_node()
+        drive(sim, node)
+        sim.run()
+        violations.extend(
+            Violation(kind=f"probe:{name}", description=v.description)
+            for v in audit_violations(
+                spec, _ProbeResult(tracer, config), f"probe:{name}"
+            )
+            if v.kind == "audit:forwarder-conformance"
+        )
+
+    # The ladder check needs the *other* boundary to be the longer one,
+    # or taking max() over all duties would coincide with the right answer.
+    n_b = int(rng.integers(0, 3))
+    n_c = n_b + 1 + int(rng.integers(0, 2))
+
+    def drive_merge(sim: Simulator, node: SimNode) -> None:
+        fwd = forwarder(node, {peer_b: (0, n_b)})
+        fwd.on_local_update(
+            HealthStatusUpdate(
+                head=my_head, execution=1, new_failures=frozenset({f1})
+            )
+        )
+        # Second report lands mid-flight, before the first ack window ends.
+        sim.schedule_in(
+            config.thop,
+            lambda: fwd.on_local_update(
+                HealthStatusUpdate(
+                    head=my_head, execution=1, new_failures=frozenset({f2})
+                )
+            ),
+        )
+
+    def drive_inbound(sim: Simulator, node: SimNode) -> None:
+        fwd = forwarder(node, {peer_b: (0, n_b), peer_c: (0, n_c)})
+        fwd.on_foreign_update(
+            HealthStatusUpdate(
+                head=peer_b, execution=1, new_failures=frozenset({f3})
+            )
+        )
+
+    def drive_origin(sim: Simulator, node: SimNode) -> None:
+        fwd = forwarder(
+            node, {}, head_boundaries={peer_b: 1, peer_c: 1}
+        )
+        update = HealthStatusUpdate(
+            head=my_id, execution=1, new_failures=frozenset({f1, f2})
+        )
+        fwd._get_head = lambda: my_id  # probe plays the CH itself
+        fwd.on_local_update(update)
+        for covered in (frozenset({f1}), frozenset({f2})):
+            fwd.on_overheard_report(
+                FailureReport(
+                    sender=peer_b,
+                    origin=my_id,
+                    target_head=peer_c,
+                    failures=covered,
+                )
+            )
+
+    run_probe("merged-duties", drive_merge)
+    run_probe("inbound-retry", drive_inbound)
+    run_probe("origin-watch", drive_origin)
+    return violations
+
+
+class _ProbeResult:
+    """Just enough of a ScenarioResult for :func:`audit_violations`."""
+
+    def __init__(self, tracer: RecordingTracer, config: FdsConfig) -> None:
+        self.tracer = tracer
+        self.config = _ProbeConfig(config)
+        self.crash_times: dict = {}
+
+
+class _ProbeConfig:
+    def __init__(self, fds: FdsConfig) -> None:
+        self.fds = fds
+
+
+# ----------------------------------------------------------------------
+# The differential check
+# ----------------------------------------------------------------------
+def check_spec(
+    spec: ScenarioSpec,
+    check_parallel: bool = True,
+    check_probes: bool = True,
+) -> List[Violation]:
+    """Run every paired configuration and oracle; return all violations.
+
+    ``check_parallel=False`` skips the process-pool pair (needed when the
+    code under test is monkeypatched -- patches do not cross process
+    boundaries).  ``check_probes=False`` skips the directed forwarder
+    probes (used by the shrinker, whose violations are end-to-end).
+    """
+    violations: List[Violation] = []
+
+    base = run_scenario(spec.to_config(vectorized=True))
+    scalar = run_scenario(spec.to_config(vectorized=False))
+    base_fp = trace_fingerprint(base.tracer)
+    if base_fp != trace_fingerprint(scalar.tracer):
+        violations.append(
+            Violation(
+                kind="differential:vectorized",
+                description=(
+                    "vectorized and scalar medium paths diverged on "
+                    "identical seeds (traces not bit-identical)"
+                ),
+            )
+        )
+
+    if check_parallel:
+        serial = run_scenario_summaries([spec.to_config()], workers=1)
+        pooled = run_scenario_summaries([spec.to_config()], workers=2)
+        if serial != pooled:
+            violations.append(
+                Violation(
+                    kind="differential:parallel",
+                    description=(
+                        "parallel experiment fabric produced a different "
+                        f"summary than the serial run: {pooled} != {serial}"
+                    ),
+                )
+            )
+
+    ablated = run_scenario(spec.to_config(use_digests=False))
+
+    violations.extend(completeness_violations(spec, base))
+    violations.extend(accuracy_violations(spec, base))
+    violations.extend(audit_violations(spec, base, "base"))
+    violations.extend(audit_violations(spec, scalar, "scalar"))
+    violations.extend(audit_violations(spec, ablated, "no-digests"))
+    if check_probes:
+        violations.extend(probe_forwarder_conformance(spec))
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+def shrink_spec(
+    spec: ScenarioSpec,
+    check_parallel: bool = True,
+    max_evals: int = 32,
+    still_fails: Optional[Callable[[ScenarioSpec], bool]] = None,
+) -> ScenarioSpec:
+    """Greedily reduce a failing spec while it keeps failing.
+
+    Each pass tries one simplification (fewer executions, clusters,
+    members, crashes; smaller drop budget; perfect links; fewer backups)
+    and keeps it if the spec still produces *any* violation.  Bounded by
+    ``max_evals`` full re-checks, so shrinking a pathological spec cannot
+    run away.
+    """
+    if still_fails is None:
+
+        def still_fails(candidate: ScenarioSpec) -> bool:
+            return bool(check_spec(candidate, check_parallel=check_parallel))
+
+    evals = 0
+
+    def attempt(candidate: ScenarioSpec) -> bool:
+        nonlocal evals
+        if evals >= max_evals:
+            return False
+        evals += 1
+        return still_fails(candidate)
+
+    current = spec
+    passes: Sequence[Callable[[ScenarioSpec], Optional[ScenarioSpec]]] = (
+        lambda s: replace(s, executions=s.executions - 1)
+        if s.executions > 3
+        else None,
+        lambda s: replace(s, cluster_count=s.cluster_count - 1)
+        if s.cluster_count > 2
+        else None,
+        lambda s: replace(
+            s, members_per_cluster=max(4, (3 * s.members_per_cluster) // 4)
+        )
+        if s.members_per_cluster > 4
+        else None,
+        lambda s: replace(s, crash_count=s.crash_count - 1)
+        if s.crash_count > 0
+        else None,
+        lambda s: replace(s, loss_budget=s.loss_budget - 1)
+        if s.loss_kind == "bounded" and s.loss_budget > 0
+        else None,
+        lambda s: replace(s, loss_kind="perfect")
+        if s.loss_kind != "perfect"
+        else None,
+        lambda s: replace(s, max_backups=s.max_backups - 1)
+        if s.max_backups > 0
+        else None,
+    )
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for simplify in passes:
+            candidate = simplify(current)
+            if candidate is not None and attempt(candidate):
+                current = candidate
+                progress = True
+    return current
+
+
+def repro_snippet(spec: ScenarioSpec, violations: Sequence[Violation]) -> str:
+    """A ready-to-paste pytest case reproducing the violations."""
+    lines = [f"    #   - {v.kind}: {v.description}" for v in violations]
+    fields = ", ".join(
+        f"{name}={getattr(spec, name)!r}"
+        for name in (
+            "seed",
+            "cluster_count",
+            "members_per_cluster",
+            "crash_count",
+            "executions",
+            "loss_kind",
+            "loss_p",
+            "loss_budget",
+            "spacing_factor",
+            "max_backups",
+            "phi",
+            "thop",
+        )
+    )
+    body = "\n".join(lines) if lines else "    #   (violations list was empty)"
+    return (
+        "from repro.audit.differential import ScenarioSpec, check_spec\n"
+        "\n"
+        "\n"
+        "def test_soak_regression():\n"
+        "    # Shrunk from a failing soak run; observed violations:\n"
+        f"{body}\n"
+        f"    spec = ScenarioSpec({fields})\n"
+        "    assert check_spec(spec) == []\n"
+    )

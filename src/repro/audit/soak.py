@@ -1,0 +1,147 @@
+"""Randomized differential soak: sample specs, check, shrink, report.
+
+The soak loop is the repo's standing conformance gate: each iteration
+draws a seeded :class:`~repro.audit.differential.ScenarioSpec` from the
+soak distribution and puts it through every paired configuration and
+oracle in :func:`~repro.audit.differential.check_spec`.  A violation is
+shrunk to a minimal spec and rendered as a ready-to-paste pytest case, so
+a CI soak failure arrives as a regression test, not a stack trace.
+
+Bounded runs (``repro soak --iterations N``) gate CI; the scheduled
+long-soak workflow runs the same loop for many more iterations and
+uploads any repro files as artifacts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.audit.differential import (
+    ScenarioSpec,
+    Violation,
+    check_spec,
+    random_spec,
+    repro_snippet,
+    shrink_spec,
+)
+
+
+@dataclass(frozen=True)
+class SoakOptions:
+    """Knobs for one soak run."""
+
+    iterations: int = 10
+    seed: int = 0
+    #: Where to write ``soak_repro_*.py`` files for violations (optional).
+    out_dir: Optional[Path] = None
+    #: Skip the process-pool differential pair (e.g. under monkeypatches).
+    check_parallel: bool = True
+    #: Re-check budget for the shrinker, per violation.
+    max_shrink_evals: int = 24
+    #: Stop after this many violating specs (0 = never stop early).
+    max_violations: int = 1
+
+
+@dataclass(frozen=True)
+class SoakViolation:
+    """One failing iteration, shrunk and rendered."""
+
+    spec: ScenarioSpec
+    shrunk: ScenarioSpec
+    violations: Tuple[Violation, ...]
+    snippet: str
+    repro_path: Optional[Path] = None
+
+
+@dataclass
+class SoakResult:
+    """Outcome of a soak run."""
+
+    iterations: int = 0
+    elapsed: float = 0.0
+    failures: List[SoakViolation] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+
+def soak_iteration(
+    spec: ScenarioSpec,
+    check_parallel: bool = True,
+    max_shrink_evals: int = 24,
+) -> Optional[SoakViolation]:
+    """Check one spec; on violation, shrink it and render the repro."""
+    violations = check_spec(spec, check_parallel=check_parallel)
+    if not violations:
+        return None
+    shrunk = shrink_spec(
+        spec, check_parallel=check_parallel, max_evals=max_shrink_evals
+    )
+    final = check_spec(shrunk, check_parallel=check_parallel)
+    if not final:
+        # Shrinking is best-effort: if a reduction pass landed on a spec
+        # that no longer fails (flaky boundary), fall back to the original.
+        shrunk, final = spec, violations
+    return SoakViolation(
+        spec=spec,
+        shrunk=shrunk,
+        violations=tuple(final),
+        snippet=repro_snippet(shrunk, final),
+    )
+
+
+def run_soak(
+    options: SoakOptions,
+    log: Optional[callable] = None,
+) -> SoakResult:
+    """Run the soak loop; returns every (shrunk) violation found.
+
+    ``log`` receives one human-readable line per iteration when given
+    (the CLI passes ``print``; tests pass nothing).
+    """
+    rng = np.random.default_rng(options.seed)
+    result = SoakResult()
+    started = time.monotonic()
+    for index in range(options.iterations):
+        spec = random_spec(rng)
+        failure = soak_iteration(
+            spec,
+            check_parallel=options.check_parallel,
+            max_shrink_evals=options.max_shrink_evals,
+        )
+        result.iterations = index + 1
+        if log is not None:
+            verdict = "VIOLATION" if failure else "ok"
+            log(
+                f"[soak {index + 1}/{options.iterations}] seed={spec.seed} "
+                f"clusters={spec.cluster_count} loss={spec.loss_kind} "
+                f"crashes={spec.crash_count}: {verdict}"
+            )
+        if failure is not None:
+            if options.out_dir is not None:
+                options.out_dir.mkdir(parents=True, exist_ok=True)
+                path = options.out_dir / f"soak_repro_{spec.seed}.py"
+                path.write_text(failure.snippet, encoding="utf-8")
+                failure = SoakViolation(
+                    spec=failure.spec,
+                    shrunk=failure.shrunk,
+                    violations=failure.violations,
+                    snippet=failure.snippet,
+                    repro_path=path,
+                )
+                if log is not None:
+                    log(f"  repro written to {path}")
+            result.failures.append(failure)
+            if (
+                options.max_violations
+                and len(result.failures) >= options.max_violations
+            ):
+                break
+    result.elapsed = time.monotonic() - started
+    return result

@@ -28,6 +28,7 @@ from repro.metrics.properties import (
     detection_latency,
     evaluate_properties,
 )
+from repro.sim.loss import LOSS_KINDS, build_loss_model
 from repro.sim.network import Network, NetworkConfig, build_network
 from repro.sim.trace import RecordingTracer
 from repro.topology.generators import multi_cluster_field
@@ -55,12 +56,29 @@ class ScenarioConfig:
     #: Radio hot-path selector; ``False`` runs the scalar reference loop
     #: (same seeded results bit-for-bit, only slower -- see sim/medium.py).
     vectorized: bool = True
+    #: Declarative loss-model spec (see :func:`repro.sim.loss.build_loss_model`).
+    #: ``"bernoulli"`` with empty params reproduces the classic behaviour
+    #: driven by ``loss_probability``; the spec stays a plain (kind, tuple)
+    #: pair so configs remain frozen, hashable, and picklable for the
+    #: parallel fabric.
+    loss_kind: str = "bernoulli"
+    loss_params: Tuple[Tuple[str, float], ...] = ()
+    #: CH lattice spacing as a fraction of the radio range (must stay in
+    #: (1, 2)); tighter spacing widens the lens overlaps, giving nodes
+    #: multiple boundary duties.
+    spacing_factor: float = 1.6
+    #: Per-boundary BGW cap (``None`` = clustering default).
+    max_backups: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.formation not in ("oracle", "protocol"):
             raise ExperimentError(
                 f"formation must be 'oracle' or 'protocol', got "
                 f"{self.formation!r}"
+            )
+        if self.loss_kind not in LOSS_KINDS:
+            raise ExperimentError(
+                f"loss_kind must be one of {LOSS_KINDS}, got {self.loss_kind!r}"
             )
         if self.crash_count < 0:
             raise ExperimentError("crash_count must be >= 0")
@@ -112,8 +130,15 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         members_per_cluster=config.members_per_cluster,
         radius=config.transmission_range,
         rng=rngs.stream("placement"),
+        spacing_factor=config.spacing_factor,
     )
     tracer = RecordingTracer()
+    loss_model = build_loss_model(
+        config.loss_kind,
+        config.loss_params,
+        loss_probability=config.loss_probability,
+        transmission_range=config.transmission_range,
+    )
     network = build_network(
         positions,
         NetworkConfig(
@@ -122,12 +147,16 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
             seed=config.seed,
             vectorized=config.vectorized,
         ),
+        loss_model=loss_model,
         tracer=tracer,
     )
 
     if config.formation == "oracle":
         graph = UnitDiskGraph(positions, radius=config.transmission_range)
-        layout = build_clusters(graph)
+        if config.max_backups is None:
+            layout = build_clusters(graph)
+        else:
+            layout = build_clusters(graph, max_backups=config.max_backups)
         fds_start = 0.0
     else:
         formation_config = FormationConfig(thop=config.fds.thop)

@@ -36,8 +36,39 @@ PEER_RECOVERY = "fds.peer_recovery"
 RELAY = "fds.relay"
 
 #: A forwarder transmitted a failure report across a boundary.
-#: detail: peer, failures, rank.
+#: detail: peer, origin, failures.
 REPORT_FORWARDED = "fds.report_forwarded"
+
+#: A GW/BGW started (or re-keyed) a boundary duty.
+#: detail: dest, origin, rank, backup_count, failures.
+INTER_DUTY = "fds.inter_duty"
+
+#: A forwarder armed (or re-armed) its implicit-ack / standby timer.
+#: detail: dest, origin, delay, failures, standby.
+INTER_ARM = "fds.inter_arm"
+
+#: Overheard coverage acknowledged failures toward a peer head.
+#: detail: peer, covered.
+INTER_ACK = "fds.inter_ack"
+
+#: An armed duty timer expired with everything acked or budget-exhausted;
+#: the watch toward that destination was released.  detail: dest.
+INTER_RELEASE = "fds.inter_release"
+
+#: A boundary duty was renamed after a peer takeover (old head -> new).
+#: detail: old, new.
+INTER_RENAMED = "fds.inter_renamed"
+
+#: An originating CH armed its forwarding watch.  detail: failures.
+ORIGIN_WATCH = "fds.origin_watch"
+
+#: The origin overheard a forwarder's report covering part of its watch.
+#: detail: covered.
+ORIGIN_COVERED = "fds.origin_covered"
+
+#: The origin watch expired uncovered and the CH rebroadcast its update.
+#: detail: pending, retry.
+ORIGIN_REBROADCAST = "fds.origin_rebroadcast"
 
 #: A CH admitted unmarked nodes as new members (feature F5).
 #: detail: admissions, execution.

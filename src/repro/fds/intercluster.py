@@ -39,6 +39,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, FrozenSet, Mapping, Optional, Tuple
 
+from repro.fds import events as ev
 from repro.fds.config import FdsConfig
 from repro.fds.messages import FailureReport, HealthStatusUpdate
 from repro.fds.reports import BoundaryLedger
@@ -77,6 +78,11 @@ class InterclusterForwarder:
         self.ledger = BoundaryLedger()
         # destination head -> armed timer.
         self._timers: Dict[NodeId, Timer] = {}
+        #: destination head -> failures the armed timer is watching.  A
+        #: second duty toward the same destination must *merge* into this
+        #: set (not replace it), or the first report's failures silently
+        #: lose their retry coverage.
+        self._armed_failures: Dict[NodeId, FrozenSet[NodeId]] = {}
         self._origin_timer: Optional[Timer] = None
         self._origin_pending: FrozenSet[NodeId] = frozenset()
         self._origin_retries = 0
@@ -85,6 +91,17 @@ class InterclusterForwarder:
         self.retransmissions = 0
         self.bgw_activations = 0
         self.origin_retransmissions = 0
+
+    def _trace(self, kind: str, **detail: object) -> None:
+        tracer = self._node.medium.tracer
+        if tracer.enabled:
+            tracer.record(
+                self._node.sim.now, kind, node=int(self._node.node_id), **detail
+            )
+
+    @staticmethod
+    def _ids(nodes: FrozenSet[NodeId]) -> list:
+        return sorted(int(n) for n in nodes)
 
     # ------------------------------------------------------------------
     # Triggers
@@ -101,6 +118,12 @@ class InterclusterForwarder:
             self.ledger.clear_failure(refuted)
         covered = self._coverage_of(update) - update.refutations
         self.ledger.note_ack(self._get_head(), covered)
+        if covered:
+            self._trace(
+                ev.INTER_ACK,
+                peer=int(self._get_head()),
+                covered=self._ids(covered),
+            )
         if update.refutations:
             # Best-effort repair propagation: the primary GW relays the
             # refutation across each boundary once (no retry ladder -- a
@@ -135,13 +158,21 @@ class InterclusterForwarder:
                 self.head_boundaries[update.head] = self.head_boundaries.pop(
                     update.takeover_from
                 )
+            self._trace(
+                ev.INTER_RENAMED,
+                old=int(update.takeover_from),
+                new=int(update.head),
+            )
         if update.head not in self.duties:
             return
         for refuted in update.refutations:
             self.ledger.clear_failure(refuted)
-        self.ledger.note_ack(
-            update.head, self._coverage_of(update) - update.refutations
-        )
+        covered = self._coverage_of(update) - update.refutations
+        self.ledger.note_ack(update.head, covered)
+        if covered:
+            self._trace(
+                ev.INTER_ACK, peer=int(update.head), covered=self._ids(covered)
+            )
         my_head = self._get_head()
         rank, backup_count = self.duties[update.head]
         if update.refutations and rank == 0:
@@ -181,6 +212,14 @@ class InterclusterForwarder:
         pending = self.ledger.pending(dest, failures)
         if not pending:
             return
+        self._trace(
+            ev.INTER_DUTY,
+            dest=int(dest),
+            origin=int(origin),
+            rank=rank,
+            backup_count=backup_count,
+            failures=self._ids(pending),
+        )
         if rank == 0:
             # Primary GW: forward immediately, then watch for the ack.
             self._forward(dest, pending, origin)
@@ -208,6 +247,18 @@ class InterclusterForwarder:
         existing = self._timers.get(dest)
         if existing is not None:
             existing.stop()
+            # Merge with the in-flight duty's watch set: the new timer
+            # covers both reports' failures, so neither loses its retries.
+            failures = failures | self._armed_failures.get(dest, frozenset())
+        self._armed_failures[dest] = failures
+        self._trace(
+            ev.INTER_ARM,
+            dest=int(dest),
+            origin=int(origin),
+            delay=delay,
+            failures=self._ids(failures),
+            standby=standby,
+        )
 
         def expire() -> None:
             self._on_timeout(dest, failures, origin, standby)
@@ -228,20 +279,30 @@ class InterclusterForwarder:
             dest, pending, self._config.max_forward_retries + 1
         )
         if not pending:
-            return  # acknowledged (or budget exhausted): release standby
+            # Acknowledged (or budget exhausted): release the standby and
+            # forget the watch set so a later duty starts fresh.
+            self._timers.pop(dest, None)
+            self._armed_failures.pop(dest, None)
+            self._trace(ev.INTER_RELEASE, dest=int(dest))
+            return
         if standby:
             self.bgw_activations += 1
         else:
             self.retransmissions += 1
-        backup_count = self._backup_count_for(dest)
+        backup_count = self._backup_count_for(dest, origin)
         self._forward(dest, pending, origin)
         self._arm(dest, self._config.post_forward_wait(backup_count), failures, origin)
 
-    def _backup_count_for(self, dest: NodeId) -> int:
+    def _backup_count_for(self, dest: NodeId, origin: NodeId) -> int:
         if dest in self.duties:
             return self.duties[dest][1]
-        # Inbound duty: the boundary is the one we share with the origin
-        # peer; all our duties share the same n only if listed, fall back 0.
+        # Inbound duty (dest is our own CH): the report crossed the
+        # boundary we share with the origin peer, so the retry wait must
+        # match *that* boundary's BGW ladder.
+        if origin in self.duties:
+            return self.duties[origin][1]
+        # Origin unknown (e.g. renamed by a takeover mid-flight): be
+        # conservative and wait out the longest ladder we serve.
         return max((n for _r, n in self.duties.values()), default=0)
 
     def _forward(
@@ -252,6 +313,12 @@ class InterclusterForwarder:
         )
         self.reports_sent += 1
         self.ledger.note_attempt(dest, failures)
+        self._trace(
+            ev.REPORT_FORWARDED,
+            peer=int(dest),
+            origin=int(origin),
+            failures=self._ids(failures),
+        )
         self._node.send(
             FailureReport(
                 sender=self._node.node_id,
@@ -289,16 +356,22 @@ class InterclusterForwarder:
         """
         if self._origin_timer is None:
             return
-        if report.failures >= self._origin_pending:
+        self._trace(ev.ORIGIN_COVERED, covered=self._ids(report.failures))
+        # A forwarder may legitimately carry only the still-pending subset
+        # (it already had acks for the rest), so shrink the watch by the
+        # overheard coverage and cancel once everything is covered --
+        # requiring a superset match would spuriously rebroadcast.
+        self._origin_pending -= report.failures
+        if not self._origin_pending:
             self._origin_timer.stop()
             self._origin_timer = None
-            self._origin_pending = frozenset()
 
     def _start_origin_watch(self, failures: FrozenSet[NodeId]) -> None:
         if not self._config.implicit_ack:
             return
         self._origin_pending = failures
         self._origin_retries = 0
+        self._trace(ev.ORIGIN_WATCH, failures=self._ids(failures))
         self._arm_origin()
 
     def _arm_origin(self) -> None:
@@ -319,6 +392,11 @@ class InterclusterForwarder:
             return
         self._origin_retries += 1
         self.origin_retransmissions += 1
+        self._trace(
+            ev.ORIGIN_REBROADCAST,
+            pending=self._ids(self._origin_pending),
+            retry=self._origin_retries,
+        )
         self._rebroadcast_update()
         self._arm_origin()
 
@@ -328,6 +406,7 @@ class InterclusterForwarder:
         for timer in self._timers.values():
             timer.stop()
         self._timers.clear()
+        self._armed_failures.clear()
         if self._origin_timer is not None:
             self._origin_timer.stop()
             self._origin_timer = None

@@ -11,11 +11,13 @@ from repro.sim.engine import Simulator
 from repro.sim.events import Event, EventQueue
 from repro.sim.loss import (
     BernoulliLoss,
+    BoundedAdversaryLoss,
     CompositeLoss,
     DistanceDependentLoss,
     GilbertElliottLoss,
     LossModel,
     PerfectLinks,
+    build_loss_model,
 )
 from repro.sim.medium import Envelope, RadioMedium
 from repro.sim.network import Network, NetworkConfig, build_network
@@ -29,6 +31,8 @@ __all__ = [
     "EventQueue",
     "LossModel",
     "BernoulliLoss",
+    "BoundedAdversaryLoss",
+    "build_loss_model",
     "GilbertElliottLoss",
     "DistanceDependentLoss",
     "CompositeLoss",

@@ -21,7 +21,7 @@ Extensions beyond the paper (used by ablation and robustness studies):
 from __future__ import annotations
 
 import math
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -241,6 +241,42 @@ class DistanceDependentLoss(LossModel):
         )
 
 
+class BoundedAdversaryLoss(LossModel):
+    """Bernoulli loss with a hard cap on the total number of dropped copies.
+
+    Behaves exactly like :class:`BernoulliLoss` with probability ``p``
+    until ``budget`` copies have been dropped (across the whole run); from
+    then on every copy is delivered.  A ``budget`` smaller than the
+    protocol's built-in redundancy (retry ladders, backup gateways, peer
+    forwarding) turns the paper's *probabilistic* completeness into a
+    *deterministic* guarantee, which is what lets the conformance soak
+    harness treat any residual incompleteness as a hard protocol bug
+    rather than bad luck.
+
+    Deliberately relies on the sequential :meth:`LossModel.lost_mask`
+    fallback: the remaining budget changes one receiver at a time, so the
+    vectorized and scalar medium paths consume the RNG identically.
+    """
+
+    def __init__(self, p: float, budget: int) -> None:
+        self.p = check_probability("p", p)
+        if int(budget) < 0:
+            raise ValueError(f"budget must be >= 0, got {budget}")
+        self.budget = int(budget)
+        self.dropped = 0
+
+    def is_lost(self, sender, receiver, distance, time, rng) -> bool:
+        if self.p == 0.0 or self.dropped >= self.budget:
+            return False
+        if self.p == 1.0 or bool(rng.uniform() < self.p):
+            self.dropped += 1
+            return True
+        return False
+
+    def describe(self) -> str:
+        return f"BoundedAdversaryLoss(p={self.p}, budget={self.budget})"
+
+
 class CompositeLoss(LossModel):
     """A copy survives only if it survives *every* component model.
 
@@ -263,3 +299,49 @@ class CompositeLoss(LossModel):
     def describe(self) -> str:
         inner = ", ".join(m.describe() for m in self.models)
         return f"CompositeLoss({inner})"
+
+
+#: Loss-model kinds addressable by name (declarative scenario configs).
+LOSS_KINDS = ("perfect", "bernoulli", "bounded", "distance", "gilbert")
+
+
+def build_loss_model(
+    kind: str,
+    params: Mapping[str, float] | Sequence[Tuple[str, float]] | None = None,
+    *,
+    loss_probability: float = 0.1,
+    transmission_range: float = 100.0,
+) -> LossModel:
+    """Instantiate a loss model from a declarative ``(kind, params)`` spec.
+
+    Scenario configs must stay frozen and picklable (they cross process
+    boundaries in the parallel fabric), so they carry a kind string and a
+    flat parameter mapping instead of a live model object; this factory
+    turns the spec into the model at run time.  ``loss_probability`` seeds
+    the ``p`` of the Bernoulli-flavored kinds unless ``params`` overrides
+    it; ``transmission_range`` parameterizes the distance-dependent model.
+    """
+    kwargs = dict(params or {})
+    if kind == "perfect":
+        model: LossModel = PerfectLinks()
+    elif kind == "bernoulli":
+        model = BernoulliLoss(kwargs.pop("p", loss_probability))
+    elif kind == "bounded":
+        model = BoundedAdversaryLoss(
+            kwargs.pop("p", loss_probability), int(kwargs.pop("budget", 3))
+        )
+    elif kind == "distance":
+        model = DistanceDependentLoss(transmission_range, **kwargs)
+        kwargs = {}
+    elif kind == "gilbert":
+        model = GilbertElliottLoss(**kwargs)
+        kwargs = {}
+    else:
+        raise ValueError(
+            f"unknown loss kind {kind!r}; expected one of {LOSS_KINDS}"
+        )
+    if kwargs:
+        raise ValueError(
+            f"unused loss parameters for kind {kind!r}: {sorted(kwargs)}"
+        )
+    return model

@@ -7,9 +7,12 @@ from repro.audit.invariants import (
     AuditFinding,
     audit_crash_silence,
     audit_detection_timing,
+    audit_forwarder_conformance,
     audit_refutation_soundness,
     audit_round_structure,
+    round_structure_applicable,
     run_all_audits,
+    run_audit_statuses,
 )
 from repro.failure.injection import FailureInjector
 from repro.fds import events as ev
@@ -105,7 +108,18 @@ class TestViolationsCaught:
         tracer = RecordingTracer()
         config = FdsConfig(phi=4.0, thop=0.5)  # allowance exceeds phi
         tracer.record(3.9, "radio.tx", node=4)
+        # No findings -- but that is "not checked", not "clean", and the
+        # status report must say so rather than silently return all-clear.
         assert audit_round_structure(tracer, config) == []
+        assert not round_structure_applicable(config)
+        status = next(
+            s
+            for s in run_audit_statuses(tracer, config)
+            if s.audit == "round-structure"
+        )
+        assert not status.applicable
+        assert not status.clean
+        assert "whole interval" in status.note
 
 
 class TestSleepRunsAuditClean:
@@ -123,3 +137,108 @@ class TestSleepRunsAuditClean:
         deployment.run_executions(6)
         findings = run_all_audits(tracer, cfg)
         assert findings == []
+
+
+class TestAuditStatuses:
+    def test_statuses_cover_every_audit(self):
+        tracer = RecordingTracer()
+        config = FdsConfig(phi=20.0, thop=0.5)
+        statuses = run_audit_statuses(tracer, config, crash_times={3: 1.0})
+        assert {s.audit for s in statuses} == {
+            "crash-silence",
+            "detection-timing",
+            "refutation-soundness",
+            "forwarder-conformance",
+            "round-structure",
+        }
+        assert all(s.applicable for s in statuses)
+
+    def test_no_crash_schedule_reported_not_applicable(self):
+        tracer = RecordingTracer()
+        config = FdsConfig(phi=20.0, thop=0.5)
+        status = next(
+            s
+            for s in run_audit_statuses(tracer, config)
+            if s.audit == "crash-silence"
+        )
+        assert not status.applicable
+        assert "no crash schedule" in status.note
+
+    def test_forwarding_disabled_reported_not_applicable(self):
+        tracer = RecordingTracer()
+        config = FdsConfig(phi=20.0, thop=0.5, intercluster_forwarding=False)
+        status = next(
+            s
+            for s in run_audit_statuses(tracer, config)
+            if s.audit == "forwarder-conformance"
+        )
+        assert not status.applicable
+
+    def test_run_all_audits_concatenates_status_findings(self):
+        tracer = RecordingTracer()
+        tracer.record(5.0, "radio.tx", node=3)
+        config = FdsConfig(phi=20.0, thop=0.5)
+        findings = run_all_audits(tracer, config, crash_times={3: 2.0})
+        assert [f.audit for f in findings] == ["crash-silence"]
+
+
+class TestForwarderConformanceAudit:
+    def _config(self):
+        return FdsConfig(phi=20.0, thop=0.5)
+
+    def test_dropped_coverage_flagged(self):
+        config = self._config()
+        tracer = RecordingTracer()
+        tracer.record(0.0, ev.INTER_DUTY, node=1, dest=9, origin=5, rank=0,
+                      backup_count=1, failures=[7])
+        tracer.record(0.0, ev.REPORT_FORWARDED, node=1, peer=9, origin=5,
+                      failures=[7])
+        tracer.record(0.0, ev.INTER_ARM, node=1, dest=9, origin=5, delay=2.0,
+                      failures=[7], standby=False)
+        # Re-arm that forgets failure 7 with retries still in budget.
+        tracer.record(1.0, ev.INTER_ARM, node=1, dest=9, origin=5, delay=2.0,
+                      failures=[8], standby=False)
+        findings = audit_forwarder_conformance(tracer, config)
+        assert len(findings) == 1
+        assert "dropped retry coverage" in findings[0].description
+
+    def test_wrong_ladder_wait_flagged(self):
+        config = self._config()
+        tracer = RecordingTracer()
+        tracer.record(0.0, ev.INTER_DUTY, node=1, dest=9, origin=5, rank=0,
+                      backup_count=1, failures=[7])
+        tracer.record(0.0, ev.INTER_ARM, node=1, dest=9, origin=5,
+                      delay=config.post_forward_wait(3), failures=[7],
+                      standby=False)
+        findings = audit_forwarder_conformance(tracer, config)
+        assert len(findings) == 1
+        assert "ladder" in findings[0].description
+
+    def test_spurious_origin_rebroadcast_flagged(self):
+        config = self._config()
+        tracer = RecordingTracer()
+        tracer.record(0.0, ev.ORIGIN_WATCH, node=1, failures=[7, 8])
+        tracer.record(0.2, ev.ORIGIN_COVERED, node=1, covered=[7])
+        tracer.record(0.4, ev.ORIGIN_COVERED, node=1, covered=[8])
+        tracer.record(1.0, ev.ORIGIN_REBROADCAST, node=1, pending=[7, 8],
+                      retry=1)
+        findings = audit_forwarder_conformance(tracer, config)
+        assert len(findings) == 1
+        assert "already covered" in findings[0].description
+
+    def test_acked_and_exhausted_failures_may_be_dropped(self):
+        config = self._config()
+        tracer = RecordingTracer()
+        max_attempts = config.max_forward_retries + 1
+        tracer.record(0.0, ev.INTER_DUTY, node=1, dest=9, origin=5, rank=0,
+                      backup_count=1, failures=[6, 7, 8])
+        for _ in range(max_attempts):
+            tracer.record(0.0, ev.REPORT_FORWARDED, node=1, peer=9, origin=5,
+                          failures=[6])
+        tracer.record(0.0, ev.INTER_ARM, node=1, dest=9, origin=5, delay=2.0,
+                      failures=[6, 7, 8], standby=False)
+        tracer.record(0.5, ev.INTER_ACK, node=1, peer=9, covered=[7])
+        # 6 exhausted its budget, 7 was acked: dropping both is legal.
+        tracer.record(2.0, ev.INTER_ARM, node=1, dest=9, origin=5, delay=2.0,
+                      failures=[8], standby=False)
+        assert audit_forwarder_conformance(tracer, config) == []

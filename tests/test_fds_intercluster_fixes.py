@@ -1,0 +1,190 @@
+"""Regression tests for the inter-cluster forwarding fixes.
+
+Three bugs, each driven directly on a unit forwarder:
+
+1. a second duty toward a destination used to *replace* the armed
+   timer's watch set, silently dropping the first report's retries;
+2. the origin watch used to demand one overheard report covering *all*
+   watched failures (superset match), spuriously rebroadcasting when
+   forwarders legitimately carried partial subsets;
+3. an inbound duty's retry wait used to take ``max`` over all serviced
+   boundaries instead of the boundary the report actually crossed.
+"""
+
+import pytest
+
+from repro.audit.invariants import audit_forwarder_conformance
+from repro.fds import events as ev
+from repro.fds.config import FdsConfig
+from repro.fds.intercluster import InterclusterForwarder
+from repro.fds.messages import FailureReport, HealthStatusUpdate
+from repro.sim.engine import Simulator
+from repro.sim.medium import RadioMedium
+from repro.sim.node import SimNode
+from repro.sim.trace import RecordingTracer
+from repro.util.geometry import Vec2
+
+MY_ID = 1
+MY_HEAD = 50
+PEER_B = 55
+PEER_C = 99
+
+
+def make_node():
+    sim = Simulator()
+    tracer = RecordingTracer()
+    medium = RadioMedium(
+        sim, transmission_range=100.0, max_delay=0.01, tracer=tracer
+    )
+    node = SimNode(MY_ID, Vec2(0, 0), sim, medium)
+    # Addressable but out-of-range peers, so unicasts to them are legal.
+    for i, extra in enumerate((MY_HEAD, PEER_B, PEER_C)):
+        SimNode(extra, Vec2(5000.0 + i * 300.0, 5000.0), sim, medium)
+    return sim, node, tracer
+
+
+def cfg(**kwargs):
+    defaults = dict(phi=20.0, thop=0.5)
+    defaults.update(kwargs)
+    return FdsConfig(**defaults)
+
+
+def make_forwarder(node, config, duties, head_boundaries=(), head=MY_HEAD):
+    rebroadcasts = []
+    forwarder = InterclusterForwarder(
+        node,
+        config,
+        duties=dict(duties),
+        head_boundaries=dict(head_boundaries),
+        get_head=lambda: head,
+        get_history=lambda: frozenset(),
+        rebroadcast_update=lambda: rebroadcasts.append(node.sim.now),
+    )
+    return forwarder, rebroadcasts
+
+
+def update(head, failures, execution=1, **kwargs):
+    return HealthStatusUpdate(
+        head=head,
+        execution=execution,
+        new_failures=frozenset(failures),
+        **kwargs,
+    )
+
+
+class TestMergedDutyKeepsRetryCoverage:
+    def test_second_duty_merges_watch_set(self):
+        sim, node, tracer = make_node()
+        config = cfg()
+        fwd, _ = make_forwarder(node, config, {PEER_B: (0, 1)})
+        fwd.on_local_update(update(MY_HEAD, {7}))
+        sim.run_until(config.thop)
+        fwd.on_local_update(update(MY_HEAD, {8}))
+        arms = [r for r in tracer.iter_kind(ev.INTER_ARM)]
+        assert arms[-1].detail["failures"] == [7, 8]
+
+    def test_acked_half_does_not_cancel_other_halfs_retries(self):
+        sim, node, tracer = make_node()
+        config = cfg()
+        fwd, _ = make_forwarder(node, config, {PEER_B: (0, 1)})
+        fwd.on_local_update(update(MY_HEAD, {7}))
+        sim.run_until(config.thop)
+        fwd.on_local_update(update(MY_HEAD, {8}))
+        # Peer B's overheard broadcast acknowledges only the second report.
+        fwd.on_foreign_update(
+            HealthStatusUpdate(
+                head=PEER_B, execution=1, known_failures=frozenset({8})
+            )
+        )
+        sim.run()
+        retries = [
+            r
+            for r in tracer.iter_kind(ev.REPORT_FORWARDED)
+            if r.time > config.thop + 1e-9
+        ]
+        assert retries, "failure 7 was never retried after the merge"
+        assert all(r.detail["failures"] == [7] for r in retries)
+        assert audit_forwarder_conformance(tracer, config) == []
+
+
+class TestOriginWatchAccumulatesCoverage:
+    def _watch(self, config):
+        sim, node, tracer = make_node()
+        fwd, rebroadcasts = make_forwarder(
+            node,
+            config,
+            {},
+            head_boundaries={PEER_B: 1, PEER_C: 1},
+            head=MY_ID,
+        )
+        fwd.on_local_update(update(MY_ID, {7, 8}))
+        return sim, fwd, tracer, rebroadcasts
+
+    def overheard(self, fwd, failures):
+        fwd.on_overheard_report(
+            FailureReport(
+                sender=PEER_B,
+                origin=MY_ID,
+                target_head=PEER_C,
+                failures=frozenset(failures),
+            )
+        )
+
+    def test_partial_reports_accumulate_and_cancel(self):
+        config = cfg()
+        sim, fwd, tracer, rebroadcasts = self._watch(config)
+        self.overheard(fwd, {7})
+        self.overheard(fwd, {8})
+        sim.run()
+        assert rebroadcasts == []
+        assert fwd.origin_retransmissions == 0
+        assert audit_forwarder_conformance(tracer, config) == []
+
+    def test_uncovered_remainder_still_rebroadcasts(self):
+        config = cfg()
+        sim, fwd, tracer, rebroadcasts = self._watch(config)
+        self.overheard(fwd, {7})  # 8 remains uncovered
+        sim.run()
+        assert rebroadcasts, "watch with uncovered failures must rebroadcast"
+        pending = [
+            r.detail["pending"]
+            for r in tracer.iter_kind(ev.ORIGIN_REBROADCAST)
+        ]
+        assert pending[0] == [8]
+        assert audit_forwarder_conformance(tracer, config) == []
+
+
+class TestInboundRetryWaitFollowsOriginBoundary:
+    def test_retry_waits_match_crossed_boundary(self):
+        sim, node, tracer = make_node()
+        config = cfg()
+        # Two boundaries with different ladders; the report crosses B's.
+        fwd, _ = make_forwarder(node, config, {PEER_B: (0, 1), PEER_C: (0, 3)})
+        fwd.on_foreign_update(update(PEER_B, {7}))
+        sim.run()  # never acknowledged: retries until the budget runs out
+        arms = [
+            r
+            for r in tracer.iter_kind(ev.INTER_ARM)
+            if r.detail["dest"] == MY_HEAD and not r.detail["standby"]
+        ]
+        assert len(arms) == config.max_forward_retries + 1
+        expected = config.post_forward_wait(1)
+        assert all(r.detail["delay"] == pytest.approx(expected) for r in arms)
+        assert audit_forwarder_conformance(tracer, config) == []
+
+    def test_unknown_origin_falls_back_to_longest_ladder(self):
+        sim, node, _tracer = make_node()
+        config = cfg()
+        fwd, _ = make_forwarder(node, config, {PEER_B: (0, 1), PEER_C: (0, 3)})
+        assert fwd._backup_count_for(MY_HEAD, origin=77) == 3
+
+
+class TestResetClearsWatchState:
+    def test_reset_forgets_armed_failures(self):
+        sim, node, _tracer = make_node()
+        fwd, _ = make_forwarder(node, cfg(), {PEER_B: (0, 1)})
+        fwd.on_local_update(update(MY_HEAD, {7}))
+        assert fwd._armed_failures
+        fwd.reset()
+        assert fwd._armed_failures == {}
+        assert fwd._timers == {}

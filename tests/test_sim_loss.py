@@ -115,3 +115,56 @@ class TestComposite:
     def test_describe_nests(self):
         text = CompositeLoss(PerfectLinks(), BernoulliLoss(0.2)).describe()
         assert "PerfectLinks" in text and "0.2" in text
+
+
+class TestBoundedAdversary:
+    def test_stops_dropping_at_budget(self, gen):
+        from repro.sim.loss import BoundedAdversaryLoss
+
+        model = BoundedAdversaryLoss(p=1.0, budget=3)
+        outcomes = [model.is_lost(0, 1, 50.0, 0.0, gen) for _ in range(10)]
+        assert outcomes == [True] * 3 + [False] * 7
+        assert model.dropped == 3
+
+    def test_zero_budget_is_perfect(self, gen):
+        from repro.sim.loss import BoundedAdversaryLoss
+
+        model = BoundedAdversaryLoss(p=0.9, budget=0)
+        assert not any(
+            model.is_lost(0, 1, 50.0, 0.0, gen) for _ in range(100)
+        )
+
+    def test_negative_budget_rejected(self):
+        from repro.sim.loss import BoundedAdversaryLoss
+
+        with pytest.raises(ValueError):
+            BoundedAdversaryLoss(p=0.5, budget=-1)
+
+
+class TestBuildLossModel:
+    def test_kinds_construct(self):
+        from repro.sim.loss import LOSS_KINDS, build_loss_model
+
+        for kind in LOSS_KINDS:
+            model = build_loss_model(kind, loss_probability=0.2)
+            assert hasattr(model, "is_lost")
+
+    def test_bounded_params(self):
+        from repro.sim.loss import build_loss_model
+
+        model = build_loss_model(
+            "bounded", (("p", 0.5), ("budget", 2.0))
+        )
+        assert model.p == 0.5 and model.budget == 2
+
+    def test_unknown_kind_rejected(self):
+        from repro.sim.loss import build_loss_model
+
+        with pytest.raises(ValueError):
+            build_loss_model("quantum")
+
+    def test_unused_params_rejected(self):
+        from repro.sim.loss import build_loss_model
+
+        with pytest.raises(ValueError):
+            build_loss_model("perfect", (("p", 0.5),))

@@ -222,3 +222,47 @@ class TestTracing:
         sim.run()
         assert tracer.count("radio.tx") == 50
         assert tracer.count("radio.rx") + tracer.count("radio.loss") == 50
+
+
+class TestUnregisterMidFlight:
+    """A copy in flight toward a node that unregisters must be dropped
+    silently -- on both radio hot paths."""
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_unregister_before_delivery_drops_copy(self, vectorized):
+        sim = Simulator()
+        medium = RadioMedium(
+            sim,
+            transmission_range=100.0,
+            loss_model=PerfectLinks(),
+            rng=np.random.default_rng(0),
+            max_delay=0.1,
+            vectorized=vectorized,
+        )
+        inboxes = {}
+        register_line(medium, inboxes, spacing=60.0, count=3)
+        medium.transmit(0, "mid-flight")
+        medium.unregister(1)  # before the delivery event fires
+        sim.run()
+        assert inboxes[1] == []
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_medium_still_usable_after_midflight_unregister(self, vectorized):
+        sim = Simulator()
+        medium = RadioMedium(
+            sim,
+            transmission_range=100.0,
+            loss_model=PerfectLinks(),
+            rng=np.random.default_rng(0),
+            max_delay=0.1,
+            vectorized=vectorized,
+        )
+        inboxes = {}
+        register_line(medium, inboxes, spacing=60.0, count=3)
+        medium.transmit(0, "one")
+        medium.unregister(1)
+        sim.run()
+        medium.register(1, Vec2(60.0, 0.0), inboxes[1].append)
+        medium.transmit(0, "two")
+        sim.run()
+        assert [env.payload for env in inboxes[1]] == ["two"]
