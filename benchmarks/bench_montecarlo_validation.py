@@ -2,77 +2,84 @@
 
 Each benchmark samples the measure's conditional event at the paper's
 high-loss corner (where the probabilities are measurable) and asserts the
-closed form lies inside the 99% Wilson interval.  The timing shows the
-vectorized estimators' throughput.  Results in
+closed form lies inside the 99% Wilson interval.  Results in
 ``benchmarks/results/mc_validation.txt``.
+
+The estimates run as **campaigns** through the content-addressed result
+store (:mod:`repro.campaign`): the first run computes and caches each
+seeded chunk; any re-run replays the chunks as cache hits -- bit-identical
+estimates, zero simulations -- while still emitting one telemetry event
+per chunk.  The store lives under ``benchmarks/results/store`` (override
+with ``REPRO_STORE``).
 """
 
-import numpy as np
+import os
+import pathlib
 
 from repro.analysis.ch_false_detection import p_false_detection_on_ch
 from repro.analysis.false_detection import p_false_detection
 from repro.analysis.incompleteness import p_incompleteness
-from repro.analysis.montecarlo import (
-    mc_false_detection,
-    mc_false_detection_on_ch,
-    mc_incompleteness,
-)
+from repro.campaign import ResultStore, mc_plan, run_campaign
 from repro.util.tables import render_table
 
 TRIALS = 120_000
+CHUNKS = 8
+STORE_DIR = pathlib.Path(
+    os.environ.get("REPRO_STORE", pathlib.Path(__file__).parent / "results" / "store")
+)
+
+
+def run_mc_campaign(estimator: str, n: int, p: float, seed: int):
+    """One cached, chunk-journaled MC estimate; returns (estimate, outcome)."""
+    store = ResultStore(STORE_DIR)
+    plan = mc_plan(estimator, n, p, TRIALS, seed=seed, chunks=CHUNKS)
+    outcome = run_campaign(plan, store)
+    assert outcome.complete, f"campaign {outcome.campaign_id}: {outcome.status}"
+    return outcome.merged, outcome
+
+
+def _write_row(write_result, name, label, analytic, estimate, outcome):
+    write_result(
+        name,
+        render_table(
+            ["measure", "analytic", "mc_estimate", "ci_low", "ci_high",
+             "cache_hits", "executed"],
+            [[label, analytic, estimate.estimate, *estimate.interval(),
+              outcome.cache_hits, outcome.executed]],
+        ),
+    )
 
 
 def test_mc_false_detection(benchmark, write_result):
-    rng = np.random.default_rng(11)
-    estimate = benchmark.pedantic(
-        lambda: mc_false_detection(50, 0.5, TRIALS, rng),
-        rounds=3, iterations=1,
+    estimate, outcome = benchmark.pedantic(
+        lambda: run_mc_campaign("false_detection", 50, 0.5, seed=11),
+        rounds=1, iterations=1,
     )
     analytic = p_false_detection(50, 0.5)
     assert estimate.contains(analytic)
-    write_result(
-        "mc_false_detection",
-        render_table(
-            ["measure", "analytic", "mc_estimate", "ci_low", "ci_high"],
-            [["P^(FD) N=50 p=0.5", analytic, estimate.estimate,
-              *estimate.interval()]],
-        ),
-    )
+    _write_row(write_result, "mc_false_detection",
+               "P^(FD) N=50 p=0.5", analytic, estimate, outcome)
 
 
 def test_mc_incompleteness(benchmark, write_result):
-    rng = np.random.default_rng(12)
-    estimate = benchmark.pedantic(
-        lambda: mc_incompleteness(50, 0.5, TRIALS, rng),
-        rounds=3, iterations=1,
+    estimate, outcome = benchmark.pedantic(
+        lambda: run_mc_campaign("incompleteness", 50, 0.5, seed=12),
+        rounds=1, iterations=1,
     )
     analytic = p_incompleteness(50, 0.5)
     assert estimate.contains(analytic)
-    write_result(
-        "mc_incompleteness",
-        render_table(
-            ["measure", "analytic", "mc_estimate", "ci_low", "ci_high"],
-            [["P^(Inc) N=50 p=0.5", analytic, estimate.estimate,
-              *estimate.interval()]],
-        ),
-    )
+    _write_row(write_result, "mc_incompleteness",
+               "P^(Inc) N=50 p=0.5", analytic, estimate, outcome)
 
 
 def test_mc_ch_false_detection(benchmark, write_result):
     # The conditional event is measurable at small N (see module docs of
     # the estimator); N=10 keeps (p(2-p))^(N-2) around 4e-2.
-    rng = np.random.default_rng(13)
-    estimate = benchmark.pedantic(
-        lambda: mc_false_detection_on_ch(10, 0.5, TRIALS, rng),
-        rounds=3, iterations=1,
+    estimate, outcome = benchmark.pedantic(
+        lambda: run_mc_campaign("false_detection_on_ch", 10, 0.5, seed=13),
+        rounds=1, iterations=1,
     )
     analytic = p_false_detection_on_ch(10, 0.5)
     assert estimate.contains(analytic)
-    write_result(
-        "mc_ch_false_detection",
-        render_table(
-            ["measure", "analytic", "mc_estimate", "ci_low", "ci_high"],
-            [["P(FDoCH) N=10 p=0.5", analytic, estimate.estimate,
-              *estimate.interval()]],
-        ),
-    )
+    _write_row(write_result, "mc_ch_false_detection",
+               "P(FDoCH) N=10 p=0.5", analytic, estimate, outcome)

@@ -5,12 +5,25 @@ so total message cost grows linearly with the field while a flat protocol
 grows superlinearly.  This bench measures transmissions per node per
 execution across field sizes and asserts it stays flat.  Results in
 ``benchmarks/results/scalability.txt``.
+
+Each field size runs as a single-replication **campaign** through the
+content-addressed store (``benchmarks/results/store``; override with
+``REPRO_STORE``), so re-running the sweep replays cached summaries
+bit-identically instead of re-simulating the fields.
 """
 
-from repro.experiments.runner import ScenarioConfig, run_scenario
+import os
+import pathlib
+
+from repro.campaign import ResultStore, run_campaign, scenario_repeat_plan
+from repro.experiments.runner import ScenarioConfig
 from repro.util.tables import render_table
 
 SIZES = (2, 4, 9)
+EXECUTIONS = 4
+STORE_DIR = pathlib.Path(
+    os.environ.get("REPRO_STORE", pathlib.Path(__file__).parent / "results" / "store")
+)
 
 
 def run_size(cluster_count: int):
@@ -19,17 +32,22 @@ def run_size(cluster_count: int):
         members_per_cluster=25,
         loss_probability=0.1,
         crash_count=1,
-        executions=4,
+        executions=EXECUTIONS,
         seed=17,
     )
-    result = run_scenario(config)
-    nodes = len(result.network)
-    per_node_per_exec = result.messages.transmissions / nodes / 4
+    store = ResultStore(STORE_DIR)
+    plan = scenario_repeat_plan(config, seeds=[17])
+    outcome = run_campaign(plan, store)
+    assert outcome.complete, f"campaign {outcome.campaign_id}: {outcome.status}"
+    summary = {key: s.mean for key, s in outcome.merged.metrics.items()}
+    nodes = summary["nodes"]
+    per_node_per_exec = summary["transmissions"] / nodes / EXECUTIONS
     return {
         "clusters": cluster_count,
         "nodes": nodes,
         "tx_per_node_per_execution": per_node_per_exec,
-        "mean_completeness": result.properties.mean_completeness,
+        "mean_completeness": summary["mean_completeness"],
+        "cached": outcome.cache_hits > 0,
     }
 
 
@@ -38,7 +56,7 @@ def test_scalability_sweep(benchmark, write_result):
         lambda: [run_size(c) for c in SIZES], rounds=1, iterations=1
     )
     keys = ["clusters", "nodes", "tx_per_node_per_execution",
-            "mean_completeness"]
+            "mean_completeness", "cached"]
     write_result(
         "scalability",
         render_table(keys, [[r[k] for k in keys] for r in rows],

@@ -18,6 +18,17 @@ Commands
     paired configurations (vectorized/scalar, parallel/serial, digest
     ablation) with ground-truth oracles and trace audits; violations are
     shrunk to minimal seeded repros written as pytest files.
+``campaign``
+    Durable experiment campaigns: content-addressed result caching,
+    checkpoint/resume via a chunk journal, live JSONL telemetry
+    (``run``/``resume``/``status``/``gc``; see :mod:`repro.campaign`).
+``bench``
+    Run the hot-path microbenchmarks and write ``BENCH_hotpaths.json``
+    at the repository root.
+
+Exit codes: 0 success, 1 failure/usage, 2 failed campaign chunks,
+3 partial campaign (``--stop-after`` checkpoint), 130 interrupted
+(SIGINT with state flushed -- rerun or ``campaign resume`` continues).
 """
 
 from __future__ import annotations
@@ -131,15 +142,22 @@ def _cmd_soak(args: argparse.Namespace) -> int:
         check_parallel=not args.serial,
         max_shrink_evals=args.shrink_evals,
         max_violations=args.max_violations,
+        store_root=Path(args.store) if args.store else None,
     )
     result = run_soak(options, log=print)
+    cached = f", {result.cache_hits} cached" if result.cache_hits else ""
     print(
         f"soak: {result.iterations} iteration(s) in {result.elapsed:.1f}s, "
-        f"{len(result.failures)} violation(s)"
+        f"{len(result.failures)} violation(s){cached}"
     )
     for failure in result.failures:
         print(f"--- shrunk repro (seed {failure.shrunk.seed}) ---")
         print(failure.snippet)
+    if result.interrupted:
+        # Per-iteration verdicts already hit the store (atomic writes),
+        # so a rerun resumes from the cache; signal the interruption.
+        print("soak: interrupted -- partial progress is cached; rerun to resume")
+        return 130
     return 0 if result.clean else 1
 
 
@@ -188,8 +206,33 @@ def main(argv: list[str] | None = None) -> int:
                       help="re-check budget while shrinking a violation")
     soak.add_argument("--max-violations", type=int, default=1,
                       help="stop after this many violations (0 = keep going)")
+    soak.add_argument("--store", type=str, default="",
+                      help="result-store root to cache per-spec verdicts in")
+
+    from repro.campaign.cli import add_campaign_parser
+
+    add_campaign_parser(sub)
+
+    bench = sub.add_parser(
+        "bench", help="run hot-path benchmarks; write BENCH_hotpaths.json"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="small sizes for CI smoke runs")
+    bench.add_argument("--output", type=str, default="",
+                       help="output path (default: <repo root>/BENCH_hotpaths.json)")
 
     args = parser.parse_args(argv)
+
+    def _cmd_campaign(namespace: argparse.Namespace) -> int:
+        from repro.campaign.cli import cmd_campaign
+
+        return cmd_campaign(namespace)
+
+    def _cmd_bench(namespace: argparse.Namespace) -> int:
+        from repro.campaign.cli import cmd_bench
+
+        return cmd_bench(namespace)
+
     handlers = {
         "figures": _cmd_figures,
         "claims": _cmd_claims,
@@ -197,8 +240,16 @@ def main(argv: list[str] | None = None) -> int:
         "scenario": _cmd_scenario,
         "reachability": _cmd_reachability,
         "soak": _cmd_soak,
+        "campaign": _cmd_campaign,
+        "bench": _cmd_bench,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except KeyboardInterrupt:
+        # Durable state (journals, store objects) is flushed as it is
+        # produced; acknowledge the signal with the conventional code.
+        print("interrupted")
+        return 130
 
 
 if __name__ == "__main__":

@@ -26,19 +26,27 @@ import numpy as np
 
 from repro.analysis.confidence import wilson_interval
 from repro.analysis.geometry import PAPER_TRANSMISSION_RANGE
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, ConfigurationError
 from repro.util.parallel import chunk_sizes, parallel_map, spawn_seed_sequences
 from repro.util.validation import check_int_at_least, check_probability
 
 
 @dataclass(frozen=True)
 class McEstimate:
-    """A Monte Carlo estimate of ``prefactor * conditional_probability``."""
+    """A Monte Carlo estimate of ``prefactor * conditional_probability``.
+
+    ``n`` and ``p`` record the measure parameters the estimate was sampled
+    at; :func:`merge_estimates` refuses to pool estimates of *different*
+    measures, which would silently produce a meaningless average.  They
+    default to ``None`` for hand-built estimates that carry no provenance.
+    """
 
     estimate: float
     prefactor: float
     conditional_successes: int
     trials: int
+    n: Optional[int] = None
+    p: Optional[float] = None
 
     @property
     def conditional_mean(self) -> float:
@@ -105,6 +113,8 @@ def mc_false_detection(
         prefactor=prefactor,
         conditional_successes=successes,
         trials=trials,
+        n=n,
+        p=p,
     )
 
 
@@ -145,6 +155,8 @@ def mc_false_detection_on_ch(
         prefactor=prefactor,
         conditional_successes=successes,
         trials=trials,
+        n=n,
+        p=p,
     )
 
 
@@ -179,6 +191,8 @@ def mc_incompleteness(
         prefactor=p,
         conditional_successes=successes,
         trials=trials,
+        n=n,
+        p=p,
     )
 
 
@@ -200,11 +214,25 @@ def merge_estimates(estimates: Sequence[McEstimate]) -> McEstimate:
     """Pool independent estimates of the same measure into one.
 
     Conditional successes and trials add; the (exact) prefactor must agree
-    across all parts.
+    across all parts, and so must the measure parameters ``(n, p)`` when
+    the estimates carry them -- pooling counts sampled at different
+    parameters would average two different probabilities into a number
+    that estimates neither.
     """
+    estimates = list(estimates)
     if not estimates:
-        raise AnalysisError("merge_estimates needs at least one estimate")
-    prefactor = estimates[0].prefactor
+        raise ConfigurationError(
+            "merge_estimates needs at least one estimate; got an empty "
+            "sequence (did a chunked run produce no chunks?)"
+        )
+    head = estimates[0]
+    for part in estimates[1:]:
+        if (part.n, part.p) != (head.n, head.p):
+            raise ConfigurationError(
+                "cannot merge estimates of different measures: "
+                f"(n={head.n}, p={head.p}) vs (n={part.n}, p={part.p})"
+            )
+    prefactor = head.prefactor
     if any(e.prefactor != prefactor for e in estimates):
         raise AnalysisError("cannot merge estimates with different prefactors")
     successes = sum(e.conditional_successes for e in estimates)
@@ -214,6 +242,8 @@ def merge_estimates(estimates: Sequence[McEstimate]) -> McEstimate:
         prefactor=prefactor,
         conditional_successes=successes,
         trials=trials,
+        n=head.n,
+        p=head.p,
     )
 
 

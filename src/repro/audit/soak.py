@@ -45,6 +45,12 @@ class SoakOptions:
     max_shrink_evals: int = 24
     #: Stop after this many violating specs (0 = never stop early).
     max_violations: int = 1
+    #: Root of a :class:`repro.campaign.store.ResultStore` to cache
+    #: per-spec verdicts in.  A rerun (or the scheduled soak workflow
+    #: reusing a cached store) replays already-checked specs instead of
+    #: re-simulating them; keys embed the code fingerprint, so any
+    #: library change invalidates the cached verdicts wholesale.
+    store_root: Optional[Path] = None
 
 
 @dataclass(frozen=True)
@@ -65,6 +71,10 @@ class SoakResult:
     iterations: int = 0
     elapsed: float = 0.0
     failures: List[SoakViolation] = field(default_factory=list)
+    #: Iterations served from the result store instead of re-simulated.
+    cache_hits: int = 0
+    #: Whether the loop was cut short by SIGINT (partial results stand).
+    interrupted: bool = False
 
     @property
     def clean(self) -> bool:
@@ -96,6 +106,47 @@ def soak_iteration(
     )
 
 
+def _spec_cache_key(spec: ScenarioSpec, options: SoakOptions) -> str:
+    from dataclasses import asdict
+
+    from repro.campaign.store import content_key
+
+    return content_key(
+        "soak_iteration",
+        {
+            "spec": asdict(spec),
+            "check_parallel": options.check_parallel,
+            "max_shrink_evals": options.max_shrink_evals,
+        },
+    )
+
+
+def _cached_verdict(payload: dict, spec: ScenarioSpec) -> Optional[SoakViolation]:
+    if not payload["violations"]:
+        return None
+    return SoakViolation(
+        spec=spec,
+        shrunk=ScenarioSpec(**payload["shrunk"]),
+        violations=tuple(
+            Violation(kind=v["kind"], description=v["description"])
+            for v in payload["violations"]
+        ),
+        snippet=payload["snippet"],
+    )
+
+
+def _verdict_payload(failure: Optional[SoakViolation]) -> dict:
+    from dataclasses import asdict
+
+    if failure is None:
+        return {"violations": []}
+    return {
+        "violations": [asdict(v) for v in failure.violations],
+        "shrunk": asdict(failure.shrunk),
+        "snippet": failure.snippet,
+    }
+
+
 def run_soak(
     options: SoakOptions,
     log: Optional[callable] = None,
@@ -103,21 +154,47 @@ def run_soak(
     """Run the soak loop; returns every (shrunk) violation found.
 
     ``log`` receives one human-readable line per iteration when given
-    (the CLI passes ``print``; tests pass nothing).
+    (the CLI passes ``print``; tests pass nothing).  With a
+    ``store_root``, each spec's verdict is cached content-addressed --
+    a rerun over the same seed range replays instead of re-simulating --
+    and a ``KeyboardInterrupt`` ends the loop cleanly with every
+    finished iteration already persisted.
     """
+    store = None
+    if options.store_root is not None:
+        from repro.campaign.store import ResultStore
+
+        store = ResultStore(options.store_root)
     rng = np.random.default_rng(options.seed)
     result = SoakResult()
     started = time.monotonic()
     for index in range(options.iterations):
         spec = random_spec(rng)
-        failure = soak_iteration(
-            spec,
-            check_parallel=options.check_parallel,
-            max_shrink_evals=options.max_shrink_evals,
-        )
+        key = _spec_cache_key(spec, options) if store is not None else None
+        cached = store.get(key) if store is not None else None
+        if cached is not None:
+            failure = _cached_verdict(cached, spec)
+            result.cache_hits += 1
+        else:
+            try:
+                failure = soak_iteration(
+                    spec,
+                    check_parallel=options.check_parallel,
+                    max_shrink_evals=options.max_shrink_evals,
+                )
+            except KeyboardInterrupt:
+                # Finished iterations are already durable (store writes
+                # are atomic, repro files land per-iteration); stop the
+                # loop and report partial progress instead of dying.
+                result.interrupted = True
+                break
+            if store is not None:
+                store.put(key, _verdict_payload(failure), kind="soak_iteration")
         result.iterations = index + 1
         if log is not None:
             verdict = "VIOLATION" if failure else "ok"
+            if cached is not None:
+                verdict += " (cached)"
             log(
                 f"[soak {index + 1}/{options.iterations}] seed={spec.seed} "
                 f"clusters={spec.cluster_count} loss={spec.loss_kind} "

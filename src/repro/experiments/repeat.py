@@ -54,6 +54,38 @@ class RepeatedResult:
         )
 
 
+def check_seeds(seeds: Sequence[int]) -> Tuple[int, ...]:
+    """Validate a replication seed list (non-empty, distinct)."""
+    if not seeds:
+        raise ExperimentError("seeds must be non-empty")
+    if len(set(seeds)) != len(seeds):
+        raise ExperimentError("seeds must be distinct")
+    return tuple(int(s) for s in seeds)
+
+
+def aggregate_summaries(
+    config: ScenarioConfig,
+    seeds: Sequence[int],
+    summaries: Sequence[Dict[str, float]],
+) -> RepeatedResult:
+    """Fold per-seed summary dicts (in seed order) into a RepeatedResult.
+
+    Shared by :func:`repeat_scenario` and the durable campaign runner
+    (:mod:`repro.campaign`): both produce the same per-seed summaries, so
+    routing them through one aggregation keeps a resumed or cache-served
+    campaign bit-identical to a direct in-memory repeat.
+    """
+    collected: Dict[str, List[float]] = {}
+    for summary in summaries:
+        for key, value in summary.items():
+            collected.setdefault(key, []).append(float(value))
+    return RepeatedResult(
+        config=config,
+        seeds=tuple(int(s) for s in seeds),
+        metrics={key: summarize(values) for key, values in collected.items()},
+    )
+
+
 def repeat_scenario(
     config: ScenarioConfig,
     seeds: Sequence[int],
@@ -66,18 +98,7 @@ def repeat_scenario(
     pool.  Summaries are always aggregated in seed order, so the result is
     bit-identical for any worker count.
     """
-    if not seeds:
-        raise ExperimentError("seeds must be non-empty")
-    if len(set(seeds)) != len(seeds):
-        raise ExperimentError("seeds must be distinct")
+    seeds = check_seeds(seeds)
     configs = [replace(config, seed=int(seed)) for seed in seeds]
     summaries = run_scenario_summaries(configs, workers=workers)
-    collected: Dict[str, List[float]] = {}
-    for summary in summaries:
-        for key, value in summary.items():
-            collected.setdefault(key, []).append(float(value))
-    return RepeatedResult(
-        config=config,
-        seeds=tuple(int(s) for s in seeds),
-        metrics={key: summarize(values) for key, values in collected.items()},
-    )
+    return aggregate_summaries(config, seeds, summaries)

@@ -1,0 +1,299 @@
+"""The checkpointed campaign runner: twins, resume, caching, liveness.
+
+The load-bearing guarantees:
+
+- a campaign's merged result is bit-identical to its one-shot twin
+  (``mc_chunked`` / ``repeat_scenario``);
+- interrupt-and-resume equals uninterrupted, bit for bit;
+- a warm store serves the whole campaign with **zero** executions;
+- a config field change misses the cache (re-executes);
+- a stuck pool worker is timed out and its chunk retried in-process.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.montecarlo import mc_chunked, mc_false_detection
+from repro.campaign.plans import (
+    EXECUTORS,
+    MERGERS,
+    CampaignPlan,
+    ChunkTask,
+    mc_plan,
+    plan_from_manifest,
+    scenario_repeat_plan,
+)
+from repro.campaign.runner import CampaignOptions, campaign_status, run_campaign
+from repro.campaign.store import ResultStore, content_key
+from repro.campaign.telemetry import read_events
+from repro.errors import ConfigurationError
+from repro.experiments.repeat import repeat_scenario
+from repro.experiments.runner import ScenarioConfig
+
+SMALL = ScenarioConfig(
+    cluster_count=2,
+    members_per_cluster=8,
+    loss_probability=0.15,
+    crash_count=1,
+    executions=2,
+)
+
+MC_ARGS = dict(n=40, p=0.4, trials=12_000, seed=3, chunks=6)
+
+
+def _store(tmp_path, name="store"):
+    return ResultStore(tmp_path / name)
+
+
+class TestOneShotTwins:
+    def test_mc_campaign_bit_identical_to_mc_chunked(self, tmp_path):
+        plan = mc_plan("false_detection", **MC_ARGS)
+        outcome = run_campaign(plan, _store(tmp_path))
+        direct = mc_chunked(
+            mc_false_detection, MC_ARGS["n"], MC_ARGS["p"], MC_ARGS["trials"],
+            seed=MC_ARGS["seed"], chunks=MC_ARGS["chunks"],
+        )
+        assert outcome.complete
+        assert outcome.merged == direct
+
+    def test_scenario_campaign_bit_identical_to_repeat(self, tmp_path):
+        plan = scenario_repeat_plan(SMALL, [1, 2, 3])
+        outcome = run_campaign(plan, _store(tmp_path))
+        direct = repeat_scenario(SMALL, [1, 2, 3])
+        assert outcome.complete
+        assert outcome.merged.metrics == direct.metrics
+        assert outcome.merged.seeds == direct.seeds
+
+    def test_pooled_equals_serial(self, tmp_path):
+        plan = mc_plan("false_detection", **MC_ARGS)
+        serial = run_campaign(plan, _store(tmp_path, "a"))
+        pooled = run_campaign(
+            plan, _store(tmp_path, "b"), CampaignOptions(workers=3)
+        )
+        assert pooled.merged == serial.merged
+
+
+class TestCaching:
+    def test_warm_rerun_executes_zero_simulations(self, tmp_path, monkeypatch):
+        store = _store(tmp_path)
+        plan = scenario_repeat_plan(SMALL, [1, 2])
+        cold = run_campaign(plan, store)
+        assert cold.executed == 2
+
+        def _explodes(_payload):
+            raise AssertionError("a warm store must not execute chunks")
+
+        monkeypatch.setitem(EXECUTORS, "scenario", _explodes)
+        warm = run_campaign(plan, store)
+        assert warm.complete
+        assert warm.executed == 0
+        assert warm.cache_hits == warm.chunks_total == 2
+        assert warm.merged.metrics == cold.merged.metrics
+
+    def test_warm_rerun_emits_telemetry_per_chunk(self, tmp_path):
+        store = _store(tmp_path)
+        plan = mc_plan("false_detection", **MC_ARGS)
+        run_campaign(plan, store)
+        run_campaign(plan, store)
+        events = read_events(
+            store.campaign_dir(plan.campaign_id) / "telemetry.jsonl"
+        )
+        done = [e for e in events if e["event"] == "chunk_done"]
+        # One per chunk cold + one per chunk warm, the warm ones all hits.
+        assert len(done) == 2 * len(plan.chunks)
+        warm_events = done[len(plan.chunks):]
+        assert all(e["cache_hit"] for e in warm_events)
+        assert warm_events[-1]["cache_hit_ratio"] == 1.0
+
+    def test_config_field_change_misses(self, tmp_path):
+        import dataclasses
+
+        store = _store(tmp_path)
+        plan = scenario_repeat_plan(SMALL, [1])
+        run_campaign(plan, store)
+        changed_plan = scenario_repeat_plan(
+            dataclasses.replace(SMALL, loss_probability=0.25), [1]
+        )
+        outcome = run_campaign(changed_plan, store)
+        assert outcome.cache_hits == 0
+        assert outcome.executed == 1
+        assert plan.campaign_id != changed_plan.campaign_id
+
+    def test_code_fingerprint_invalidates(self, tmp_path):
+        # Same payload under two code fingerprints must occupy two
+        # addresses: an upgraded library never hits stale results.
+        payload = {"chunk": 0}
+        store = _store(tmp_path)
+        store.put(content_key("k", payload, fingerprint="old"), {"v": 1},
+                  fingerprint="old")
+        assert store.get(content_key("k", payload, fingerprint="new")) is None
+
+
+class TestInterruptResume:
+    @pytest.mark.parametrize("stop_after", [1, 2])
+    def test_resumed_equals_uninterrupted(self, tmp_path, stop_after):
+        seeds = [5, 6, 7]
+        plan = scenario_repeat_plan(SMALL, seeds)
+
+        uninterrupted = run_campaign(plan, _store(tmp_path, "full"))
+
+        store = _store(tmp_path, "interrupted")
+        partial = run_campaign(
+            plan, store, CampaignOptions(stop_after=stop_after)
+        )
+        assert partial.status == "partial"
+        assert partial.exit_code() == 3
+        assert partial.chunks_done == stop_after
+        resumed = run_campaign(plan, store)
+        assert resumed.complete
+        # The already-journaled chunks replay as hits, the rest execute.
+        assert resumed.cache_hits == stop_after
+        assert resumed.executed == len(seeds) - stop_after
+        assert resumed.merged.metrics == uninterrupted.merged.metrics
+        assert resumed.result_payloads == uninterrupted.result_payloads
+
+    def test_journal_is_flushed_per_chunk(self, tmp_path):
+        store = _store(tmp_path)
+        plan = scenario_repeat_plan(SMALL, [1, 2])
+        run_campaign(plan, store, CampaignOptions(stop_after=1))
+        journal = read_events(
+            store.campaign_dir(plan.campaign_id) / "journal.jsonl"
+        )
+        done = [e for e in journal if e["event"] == "chunk_done"]
+        assert len(done) == 1
+        assert store.contains(done[0]["key"])
+
+    def test_lost_object_is_recomputed_on_resume(self, tmp_path):
+        store = _store(tmp_path)
+        plan = scenario_repeat_plan(SMALL, [1, 2])
+        run_campaign(plan, store)
+        # Simulate a gc'd/corrupted object behind a journaled chunk.
+        victim = plan.chunks[0].key
+        (store.root / "objects" / victim[:2] / f"{victim}.json").unlink()
+        outcome = run_campaign(plan, store)
+        assert outcome.complete
+        assert outcome.executed == 1 and outcome.cache_hits == 1
+
+    def test_keyboard_interrupt_checkpoints(self, tmp_path, monkeypatch):
+        store = _store(tmp_path)
+        plan = scenario_repeat_plan(SMALL, [1, 2, 3])
+        real = EXECUTORS["scenario"]
+        calls = []
+
+        def _interrupt_after_one(payload):
+            if calls:
+                raise KeyboardInterrupt
+            calls.append(1)
+            return real(payload)
+
+        monkeypatch.setitem(EXECUTORS, "scenario", _interrupt_after_one)
+        outcome = run_campaign(plan, store)
+        assert outcome.status == "interrupted"
+        assert outcome.exit_code() == 130
+        journal = read_events(
+            store.campaign_dir(plan.campaign_id) / "journal.jsonl"
+        )
+        assert sum(e["event"] == "chunk_done" for e in journal) == 1
+        # And the resume completes, bit-identical to a clean run.
+        monkeypatch.setitem(EXECUTORS, "scenario", real)
+        resumed = run_campaign(plan, store)
+        clean = run_campaign(plan, _store(tmp_path, "clean"))
+        assert resumed.complete
+        assert resumed.merged.metrics == clean.merged.metrics
+
+
+class TestManifests:
+    def test_plan_from_manifest_round_trips(self, tmp_path):
+        for plan in (
+            mc_plan("incompleteness", n=30, p=0.3, trials=5000, seed=1, chunks=4),
+            scenario_repeat_plan(SMALL, [4, 5]),
+        ):
+            rebuilt = plan_from_manifest(plan.manifest())
+            assert rebuilt.campaign_id == plan.campaign_id
+            assert [c.key for c in rebuilt.chunks] == [c.key for c in plan.chunks]
+
+    def test_plan_from_manifest_rejects_key_drift(self, tmp_path):
+        plan = mc_plan("incompleteness", n=30, p=0.3, trials=5000, seed=1, chunks=4)
+        manifest = plan.manifest()
+        manifest["chunks"][0]["key"] = "0" * 64  # stale code fingerprint
+        with pytest.raises(ConfigurationError):
+            plan_from_manifest(manifest)
+
+    def test_unknown_estimator_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mc_plan("not_an_estimator", n=10, p=0.1, trials=100, seed=0)
+
+    def test_status_reports_progress(self, tmp_path):
+        store = _store(tmp_path)
+        plan = scenario_repeat_plan(SMALL, [1, 2])
+        run_campaign(plan, store, CampaignOptions(stop_after=1))
+        info = campaign_status(store, plan.campaign_id)
+        assert info["chunks_done"] == 1
+        assert info["chunks_total"] == 2
+        assert not info["complete"]
+
+
+# ----------------------------------------------------------------------
+# Liveness: stuck-worker timeout and in-process retry
+# ----------------------------------------------------------------------
+def _sleepy_executor(payload):
+    # Stuck only inside a pool worker; the in-process retry is instant.
+    if os.getpid() != payload["main_pid"]:
+        time.sleep(60.0)
+    return {"value": payload["value"]}
+
+
+def _sleepy_merger(_params, results):
+    return sum(r["value"] for r in results)
+
+
+def _sleepy_plan(count):
+    chunks = tuple(
+        ChunkTask(
+            index=i,
+            kind="sleepy",
+            payload={"value": i + 1, "main_pid": os.getpid()},
+            key=content_key("sleepy", {"i": i, "pid": os.getpid()}),
+            replications=1,
+        )
+        for i in range(count)
+    )
+    return CampaignPlan(
+        campaign_id="sleepytest0000", kind="sleepy", params={}, chunks=chunks
+    )
+
+
+class TestLiveness:
+    def test_stuck_worker_times_out_and_retries_in_process(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setitem(EXECUTORS, "sleepy", _sleepy_executor)
+        monkeypatch.setitem(MERGERS, "sleepy", _sleepy_merger)
+        plan = _sleepy_plan(2)
+        store = _store(tmp_path)
+        outcome = run_campaign(
+            plan, store,
+            CampaignOptions(workers=2, chunk_timeout=0.5, max_retries=1),
+        )
+        assert outcome.complete
+        assert outcome.merged == 3
+        events = read_events(
+            store.campaign_dir(plan.campaign_id) / "telemetry.jsonl"
+        )
+        kinds = [e["event"] for e in events]
+        assert "chunk_timeout" in kinds
+        assert "chunk_retry" in kinds
+
+    def test_failing_chunk_marks_campaign_failed(self, tmp_path, monkeypatch):
+        def _always_fails(_payload):
+            raise RuntimeError("boom")
+
+        monkeypatch.setitem(EXECUTORS, "sleepy", _always_fails)
+        monkeypatch.setitem(MERGERS, "sleepy", _sleepy_merger)
+        plan = _sleepy_plan(1)
+        outcome = run_campaign(plan, _store(tmp_path))
+        assert outcome.status == "failed"
+        assert outcome.exit_code() == 2
+        assert outcome.failed_chunks == (0,)

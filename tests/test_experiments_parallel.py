@@ -18,7 +18,7 @@ from repro.analysis.montecarlo import (
     merge_estimates,
 )
 from repro.analysis.sweep import sweep_measure
-from repro.errors import AnalysisError, ExperimentError
+from repro.errors import AnalysisError, ConfigurationError, ExperimentError
 from repro.experiments.parallel import (
     parallel_map,
     run_scenario_summaries,
@@ -149,6 +149,32 @@ class TestMonteCarloParallel:
         ]
         with pytest.raises(AnalysisError):
             merge_estimates(parts)
+
+    def test_merge_rejects_empty_sequence(self):
+        with pytest.raises(ConfigurationError):
+            merge_estimates([])
+
+    def test_merge_rejects_mismatched_parameters(self):
+        # Chunks from different (n, p) experiments must never be pooled.
+        parts = [
+            McEstimate(estimate=0.5, prefactor=1.0,
+                       conditional_successes=1, trials=2, n=40, p=0.4),
+            McEstimate(estimate=0.5, prefactor=1.0,
+                       conditional_successes=1, trials=2, n=41, p=0.4),
+        ]
+        with pytest.raises(ConfigurationError):
+            merge_estimates(parts)
+
+    def test_merge_carries_parameters(self):
+        parts = [
+            McEstimate(estimate=0.5, prefactor=1.0,
+                       conditional_successes=1, trials=2, n=40, p=0.4),
+            McEstimate(estimate=0.5, prefactor=1.0,
+                       conditional_successes=1, trials=2, n=40, p=0.4),
+        ]
+        merged = merge_estimates(parts)
+        assert merged.n == 40
+        assert merged.p == 0.4
 
 
 class TestSweepParallel:
