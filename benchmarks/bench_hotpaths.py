@@ -13,6 +13,10 @@ performance trajectory is trackable across PRs.  Three benches:
   serial and across the process pool.
 - **repeat_scenario** -- wall clock of a multi-seed scenario replication
   for 1/2/4 workers, with scaling efficiency relative to serial.
+- **obs_overhead** -- an end-to-end scenario with observability off
+  (NULL_PROFILER + NullTracer, the default) vs. fully on (PhaseProfiler
+  + SpoolingTracer to gzip).  The disabled ratio is the instrumentation
+  tax every ordinary run pays; the budget is <= 2%.
 
 Usage::
 
@@ -178,6 +182,76 @@ def bench_repeat_scaling(seeds: int, quick: bool) -> dict:
     }
 
 
+def bench_obs_overhead(quick: bool) -> dict:
+    """End-to-end scenario cost: observability off vs. fully on.
+
+    "Off" is the default every experiment pays (NULL_PROFILER gates,
+    NullTracer): its wall clock tracks the instrumentation tax of the
+    disabled branches.  "On" attaches the phase profiler and spools the
+    whole trace to gzip'd JSONL -- the price of a fully observed run.
+    Best-of-N wall clocks so one scheduler hiccup doesn't skew a ratio.
+    """
+    import tempfile
+
+    from repro.experiments.runner import run_scenario
+    from repro.obs.profiler import PhaseProfiler
+    from repro.obs.spool import SpoolingTracer
+    from repro.sim.trace import NullTracer
+
+    config = ScenarioConfig(
+        cluster_count=3,
+        members_per_cluster=10 if quick else 20,
+        loss_probability=0.1,
+        crash_count=2,
+        executions=3 if quick else 5,
+        seed=23,
+    )
+    repeats = 2 if quick else 3
+    run_scenario(config, tracer=NullTracer())  # warm caches off-clock
+
+    def best_of(thunk) -> float:
+        best = math.inf
+        for _ in range(repeats):
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                thunk()
+                best = min(best, time.perf_counter() - start)
+            finally:
+                gc.enable()
+        return best
+
+    disabled_s = best_of(lambda: run_scenario(config, tracer=NullTracer()))
+
+    spool_records = 0
+    phases = 0
+
+    def observed() -> None:
+        nonlocal spool_records, phases
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "bench.jsonl.gz"
+            with SpoolingTracer(path) as tracer:
+                profiler = PhaseProfiler()
+                run_scenario(config, tracer=tracer, profiler=profiler)
+            spool_records = tracer.spooled
+            phases = len(profiler.seconds)
+
+    enabled_s = best_of(observed)
+    return {
+        "scenario": {
+            "cluster_count": config.cluster_count,
+            "members_per_cluster": config.members_per_cluster,
+            "executions": config.executions,
+        },
+        "repeats": repeats,
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "enabled_over_disabled": enabled_s / disabled_s,
+        "spool_records": spool_records,
+        "profiled_phases": phases,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -216,6 +290,14 @@ def main(argv: list[str] | None = None) -> int:
             f"(efficiency {row['scaling_efficiency']:.2f})"
         )
 
+    print("observability overhead (off vs. profiler + gzip spool) ...")
+    obs = bench_obs_overhead(args.quick)
+    print(
+        f"  disabled {obs['disabled_s']:.3f} s, enabled {obs['enabled_s']:.3f} s "
+        f"({obs['enabled_over_disabled']:.2f}x, "
+        f"{obs['spool_records']} records spooled)"
+    )
+
     payload = {
         "schema": "bench_hotpaths/v1",
         "meta": {
@@ -229,6 +311,7 @@ def main(argv: list[str] | None = None) -> int:
             "transmit_fanout": fanout,
             "mc_throughput": mc,
             "repeat_scenario": repeat,
+            "obs_overhead": obs,
         },
     }
     args.output.parent.mkdir(parents=True, exist_ok=True)

@@ -25,6 +25,11 @@ Commands
 ``bench``
     Run the hot-path microbenchmarks and write ``BENCH_hotpaths.json``
     at the repository root.
+``trace``
+    Analyze a spooled trace: ``summarize`` (record counts, phase time
+    shares, phi-unit detection-latency histogram), ``timeline``,
+    ``lineage <report-id>`` (one failure report's R-1 -> R-3 ->
+    inter-cluster path), ``latency``.
 
 Exit codes: 0 success, 1 failure/usage, 2 failed campaign chunks,
 3 partial campaign (``--stop-after`` checkpoint), 130 interrupted
@@ -95,6 +100,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.experiments.runner import ScenarioConfig, run_scenario
 
     config = ScenarioConfig(
@@ -106,9 +113,31 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         seed=args.seed,
         formation=args.formation,
     )
-    result = run_scenario(config)
+    tracer = None
+    profiler = None
+    if args.trace_out:
+        from repro.obs.spool import SpoolingTracer
+
+        tracer = SpoolingTracer(Path(args.trace_out))
+    if args.profile:
+        from repro.obs.profiler import PhaseProfiler
+
+        profiler = PhaseProfiler()
+    try:
+        result = run_scenario(config, tracer=tracer, profiler=profiler)
+    finally:
+        if tracer is not None:
+            tracer.close()
     for key, value in result.summary().items():
         print(f"  {key:26s} {value:.6g}")
+    if profiler is not None and profiler.total_seconds > 0:
+        print("  profiled phases:")
+        for phase, seconds, share, calls in profiler.shares():
+            print(f"    {phase:20s} {seconds:9.4f}s {100 * share:5.1f}%  "
+                  f"{calls} call(s)")
+    if tracer is not None:
+        print(f"  trace spooled to {args.trace_out} "
+              f"({tracer.spooled} record(s); analyze with 'repro trace')")
     return 0 if result.properties.is_accurate else 1
 
 
@@ -189,6 +218,11 @@ def main(argv: list[str] | None = None) -> int:
     scenario.add_argument("--seed", type=int, default=0)
     scenario.add_argument("--formation", choices=("oracle", "protocol"),
                           default="oracle")
+    scenario.add_argument("--trace-out", type=str, default="",
+                          help="spool the full trace to this .jsonl[.gz] path")
+    scenario.add_argument("--profile", action="store_true",
+                          help="attach the phase profiler; per-phase totals "
+                               "are printed and spooled as profile.phase")
 
     reach = sub.add_parser("reachability", help="DCH reachability study")
     reach.add_argument("--p", type=float, default=0.1)
@@ -210,8 +244,10 @@ def main(argv: list[str] | None = None) -> int:
                       help="result-store root to cache per-spec verdicts in")
 
     from repro.campaign.cli import add_campaign_parser
+    from repro.obs.cli import add_trace_parser
 
     add_campaign_parser(sub)
+    add_trace_parser(sub)
 
     bench = sub.add_parser(
         "bench", help="run hot-path benchmarks; write BENCH_hotpaths.json"
@@ -233,6 +269,11 @@ def main(argv: list[str] | None = None) -> int:
 
         return cmd_bench(namespace)
 
+    def _cmd_trace(namespace: argparse.Namespace) -> int:
+        from repro.obs.cli import cmd_trace
+
+        return cmd_trace(namespace)
+
     handlers = {
         "figures": _cmd_figures,
         "claims": _cmd_claims,
@@ -242,6 +283,7 @@ def main(argv: list[str] | None = None) -> int:
         "soak": _cmd_soak,
         "campaign": _cmd_campaign,
         "bench": _cmd_bench,
+        "trace": _cmd_trace,
     }
     try:
         return handlers[args.command](args)

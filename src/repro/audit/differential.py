@@ -53,7 +53,7 @@ from repro.fds.messages import FailureReport, HealthStatusUpdate
 from repro.sim.engine import Simulator
 from repro.sim.medium import RadioMedium
 from repro.sim.node import SimNode
-from repro.sim.trace import RecordingTracer, records_to_jsonl
+from repro.sim.trace import RecordingTracer, iter_jsonl
 from repro.util.geometry import Vec2
 
 
@@ -141,9 +141,16 @@ class Violation:
 
 
 def trace_fingerprint(tracer: RecordingTracer) -> str:
-    """Stable digest of a full trace (the bit-identity currency)."""
-    payload = records_to_jsonl(tracer.records)
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    """Stable digest of a full trace (the bit-identity currency).
+
+    Streams line by line into the hash -- a soak trace never has to
+    exist as one giant string just to be fingerprinted.
+    """
+    digest = hashlib.sha256()
+    for line in iter_jsonl(tracer.records):
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 # ----------------------------------------------------------------------

@@ -236,6 +236,7 @@ def run_campaign(
         failed_chunks=failed,
     )
     telemetry.close()
+    _write_metrics(directory, progress)
     return CampaignOutcome(
         campaign_id=plan.campaign_id,
         status=status,
@@ -246,6 +247,21 @@ def run_campaign(
         failed_chunks=tuple(failed),
         merged=merged,
         result_payloads=payloads,
+    )
+
+
+def _write_metrics(directory: Path, progress: Progress) -> None:
+    """Snapshot the run's registry (JSON + Prometheus text) next to the
+    journal, whatever the outcome -- a partial campaign's throughput and
+    cache ratio are exactly what a resume decision needs."""
+    from repro.campaign.store import _atomic_write_text
+
+    _atomic_write_text(
+        directory / "metrics.json",
+        json.dumps(progress.registry.to_json(), indent=2) + "\n",
+    )
+    _atomic_write_text(
+        directory / "metrics.prom", progress.registry.render_prometheus()
     )
 
 

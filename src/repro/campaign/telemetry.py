@@ -27,6 +27,8 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro.obs.registry import MetricsRegistry
+
 
 class Telemetry:
     """Append-only JSONL event writer (optionally teed to a second path)."""
@@ -96,22 +98,61 @@ def read_events(path: Path) -> List[Dict[str, Any]]:
 
 
 class Progress:
-    """Running throughput / cache-ratio / ETA accounting for one run."""
+    """Running throughput / cache-ratio / ETA accounting for one run.
 
-    def __init__(self, total_chunks: int, already_done: int = 0) -> None:
+    The same numbers the per-chunk telemetry events carry are kept live
+    on a :class:`~repro.obs.registry.MetricsRegistry` (counters for
+    chunks/cache-hits/replications, gauges for reps/sec, cache-hit
+    ratio, and ETA), so a campaign can expose or persist a standard
+    metrics snapshot at any point.
+    """
+
+    def __init__(
+        self,
+        total_chunks: int,
+        already_done: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.total = total_chunks
         self.done = already_done
         self.cache_hits = 0
         self.executed = 0
         self.replications_done = 0
         self._started = time.monotonic()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry.gauge(
+            "repro_campaign_chunks_total", "Chunks in the campaign plan"
+        ).set(total_chunks)
+        self._chunks_done = self.registry.counter(
+            "repro_campaign_chunks_done_total", "Chunks finished (any way)"
+        )
+        self._cache_hit_count = self.registry.counter(
+            "repro_campaign_cache_hits_total", "Chunks served from the store"
+        )
+        self._executed_count = self.registry.counter(
+            "repro_campaign_chunks_executed_total", "Chunks actually simulated"
+        )
+        self._replications = self.registry.counter(
+            "repro_campaign_replications_total", "Scenario replications folded in"
+        )
+        self._rate = self.registry.gauge(
+            "repro_campaign_reps_per_second", "Running replication throughput"
+        )
+        self._ratio = self.registry.gauge(
+            "repro_campaign_cache_hit_ratio", "Cache hits / finished chunks"
+        )
+        self._eta = self.registry.gauge(
+            "repro_campaign_eta_seconds", "Projected seconds to completion"
+        )
 
     def record_chunk(self, replications: int, cache_hit: bool) -> Dict[str, Any]:
         self.done += 1
         if cache_hit:
             self.cache_hits += 1
+            self._cache_hit_count.inc()
         else:
             self.executed += 1
+            self._executed_count.inc()
         self.replications_done += int(replications)
         elapsed = max(time.monotonic() - self._started, 1e-9)
         finished_this_run = self.cache_hits + self.executed
@@ -119,6 +160,11 @@ class Progress:
         remaining = self.total - self.done
         # ETA from the observed per-chunk pace of *this* invocation.
         eta = (elapsed / finished_this_run) * remaining if finished_this_run else None
+        self._chunks_done.inc()
+        self._replications.inc(int(replications))
+        self._rate.set(rate)
+        self._ratio.set(self.cache_hits / finished_this_run)
+        self._eta.set(eta if eta is not None else 0.0)
         return {
             "done": self.done,
             "total": self.total,

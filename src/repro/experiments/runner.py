@@ -28,9 +28,11 @@ from repro.metrics.properties import (
     detection_latency,
     evaluate_properties,
 )
+from repro.obs.analyze import META_KIND, PROFILE_KIND
+from repro.obs.profiler import PhaseProfiler
 from repro.sim.loss import LOSS_KINDS, build_loss_model
 from repro.sim.network import Network, NetworkConfig, build_network
-from repro.sim.trace import RecordingTracer
+from repro.sim.trace import RecordingTracer, Tracer
 from repro.topology.generators import multi_cluster_field
 from repro.topology.graph import UnitDiskGraph
 from repro.types import NodeId, SimTime
@@ -97,11 +99,18 @@ class ScenarioResult:
     faultload: Faultload
     properties: PropertyReport
     messages: MessageCounts
-    tracer: RecordingTracer
+    tracer: Tracer
     crash_times: Dict[NodeId, SimTime]
 
     @property
     def detection_latencies(self) -> Dict[NodeId, Optional[SimTime]]:
+        """Crash-to-first-detection seconds per crashed node.
+
+        Needs a tracer with full in-memory records (the default
+        :class:`RecordingTracer`).  With a disk-spooling tracer every
+        entry is ``None`` here -- run ``repro trace latency`` on the
+        spool instead.
+        """
         return detection_latency(self.tracer, self.crash_times)
 
     def summary(self) -> Dict[str, float]:
@@ -122,8 +131,22 @@ class ScenarioResult:
         }
 
 
-def run_scenario(config: ScenarioConfig) -> ScenarioResult:
-    """Build, run, and score one end-to-end scenario."""
+def run_scenario(
+    config: ScenarioConfig,
+    tracer: Optional[Tracer] = None,
+    profiler: Optional[PhaseProfiler] = None,
+) -> ScenarioResult:
+    """Build, run, and score one end-to-end scenario.
+
+    ``tracer`` overrides the default in-memory :class:`RecordingTracer`
+    -- pass a :class:`~repro.obs.spool.SpoolingTracer` to stream the
+    trace to disk instead of holding it (soaks, campaigns).  ``profiler``
+    attaches a :class:`~repro.obs.profiler.PhaseProfiler` to the
+    simulator; its per-phase totals are appended to the trace as
+    ``profile.phase`` records at run end.  Either way the run is stamped
+    with a ``meta.scenario`` record so post-hoc analysis (``repro
+    trace``) can recover phi/thop/seed from the trace alone.
+    """
     rngs = RngFactory(config.seed)
     positions = multi_cluster_field(
         cluster_count=config.cluster_count,
@@ -132,7 +155,8 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         rng=rngs.stream("placement"),
         spacing_factor=config.spacing_factor,
     )
-    tracer = RecordingTracer()
+    if tracer is None:
+        tracer = RecordingTracer()
     loss_model = build_loss_model(
         config.loss_kind,
         config.loss_params,
@@ -150,6 +174,8 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
         loss_model=loss_model,
         tracer=tracer,
     )
+    if profiler is not None:
+        network.sim.profiler = profiler
 
     if config.formation == "oracle":
         graph = UnitDiskGraph(positions, radius=config.transmission_range)
@@ -185,7 +211,29 @@ def run_scenario(config: ScenarioConfig) -> ScenarioResult:
     faultload.inject(injector)
     crash_times = {e.node_id: e.time for e in faultload.events}
 
+    if tracer.enabled:
+        tracer.record(
+            network.sim.now,
+            META_KIND,
+            phi=config.fds.phi,
+            thop=config.fds.thop,
+            nodes=len(network),
+            seed=config.seed,
+            executions=config.executions,
+            fds_start=fds_start,
+        )
+
     deployment.run_executions(config.executions)
+
+    if profiler is not None and profiler.enabled and tracer.enabled:
+        for phase, seconds, _share, calls in profiler.shares():
+            tracer.record(
+                network.sim.now,
+                PROFILE_KIND,
+                phase=phase,
+                seconds=seconds,
+                calls=calls,
+            )
 
     return ScenarioResult(
         config=config,

@@ -37,9 +37,11 @@ All acknowledgment state is per *destination head* in a
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, FrozenSet, Mapping, Optional, Tuple
 
 from repro.fds import events as ev
+from repro.obs.profiler import PHASE_FDS_INTERCLUSTER
 from repro.fds.config import FdsConfig
 from repro.fds.messages import FailureReport, HealthStatusUpdate
 from repro.fds.reports import BoundaryLedger
@@ -107,6 +109,18 @@ class InterclusterForwarder:
     # Triggers
     # ------------------------------------------------------------------
     def on_local_update(self, update: HealthStatusUpdate) -> None:
+        """Profiled entry point for :meth:`_handle_local_update`."""
+        profiler = self._node.sim.profiler
+        if not profiler.enabled:
+            self._handle_local_update(update)
+            return
+        t0 = perf_counter()
+        try:
+            self._handle_local_update(update)
+        finally:
+            profiler.add(PHASE_FDS_INTERCLUSTER, t0)
+
+    def _handle_local_update(self, update: HealthStatusUpdate) -> None:
         """Our cluster's authority broadcast an update we (over)heard.
 
         Always records the update's coverage as acknowledgment for the
@@ -140,6 +154,18 @@ class InterclusterForwarder:
             self._start_origin_watch(failures)
 
     def on_foreign_update(self, update: HealthStatusUpdate) -> None:
+        """Profiled entry point for :meth:`_handle_foreign_update`."""
+        profiler = self._node.sim.profiler
+        if not profiler.enabled:
+            self._handle_foreign_update(update)
+            return
+        t0 = perf_counter()
+        try:
+            self._handle_foreign_update(update)
+        finally:
+            profiler.add(PHASE_FDS_INTERCLUSTER, t0)
+
+    def _handle_foreign_update(self, update: HealthStatusUpdate) -> None:
         """An update from another cluster's head was overheard.
 
         If that head is one of our boundary peers: everything its update
@@ -268,6 +294,25 @@ class InterclusterForwarder:
         )
 
     def _on_timeout(
+        self,
+        dest: NodeId,
+        failures: FrozenSet[NodeId],
+        origin: NodeId,
+        standby: bool,
+    ) -> None:
+        # Timer-driven forwarding fires outside any FDS round, so it must
+        # charge the inter-cluster phase itself.
+        profiler = self._node.sim.profiler
+        if not profiler.enabled:
+            self._handle_timeout(dest, failures, origin, standby)
+            return
+        t0 = perf_counter()
+        try:
+            self._handle_timeout(dest, failures, origin, standby)
+        finally:
+            profiler.add(PHASE_FDS_INTERCLUSTER, t0)
+
+    def _handle_timeout(
         self,
         dest: NodeId,
         failures: FrozenSet[NodeId],

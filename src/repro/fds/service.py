@@ -27,6 +27,7 @@ ground truth; all knowledge arrives by radio.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Dict, FrozenSet, List, Optional, Set
 
 from repro.cluster.maintenance import AdmissionBook
@@ -192,24 +193,39 @@ class FdsProtocol(Protocol):
         for k in range(first_index, first_index + executions):
             epoch_offset = first_epoch - now + (k - first_index) * self.config.phi
             self.node.timers.after(
-                epoch_offset, self._make_round(k, self._round1), label="fds.r1"
+                epoch_offset, self._make_round(k, self._round1, "fds.r1"),
+                label="fds.r1",
             )
             self.node.timers.after(
-                epoch_offset + thop, self._make_round(k, self._round2), label="fds.r2"
+                epoch_offset + thop, self._make_round(k, self._round2, "fds.r2"),
+                label="fds.r2",
             )
             self.node.timers.after(
-                epoch_offset + 2 * thop, self._make_round(k, self._round3),
+                epoch_offset + 2 * thop, self._make_round(k, self._round3, "fds.r3"),
                 label="fds.r3",
             )
             self.node.timers.after(
-                epoch_offset + 3 * thop, self._make_round(k, self._round3_end),
+                epoch_offset + 3 * thop,
+                self._make_round(k, self._round3_end, "fds.r3end"),
                 label="fds.r3end",
             )
 
-    @staticmethod
-    def _make_round(execution: int, method) -> object:
+    def _make_round(self, execution: int, method, phase: str) -> object:
+        # One wrapper profiles all four rounds: the phase gate sits here,
+        # not in the round bodies, so disabled runs pay a single branch.
+        sim = self.node.sim
+        assert sim is not None
+
         def fire() -> None:
-            method(execution)
+            profiler = sim.profiler
+            if profiler.enabled:
+                t0 = perf_counter()
+                try:
+                    method(execution)
+                finally:
+                    profiler.add(phase, t0)
+            else:
+                method(execution)
 
         return fire
 

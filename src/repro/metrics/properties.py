@@ -155,9 +155,18 @@ def detection_latency(
     tracer: RecordingTracer,
     crash_times: Dict[NodeId, SimTime],
 ) -> Dict[NodeId, Optional[SimTime]]:
-    """Seconds from each crash to its *first* detection event (None if never)."""
+    """Seconds from each crash to its *first* detection event (None if never).
+
+    Needs a tracer with full in-memory records.  Tracers without
+    ``iter_kind`` (disk spoolers, NullTracer) yield all-``None``; the
+    latencies are then recovered post-hoc from the spool by
+    ``repro trace latency``.
+    """
+    iter_kind = getattr(tracer, "iter_kind", None)
+    if iter_kind is None:
+        return {nid: None for nid in crash_times}
     first_detection: Dict[NodeId, SimTime] = {}
-    for record in tracer.iter_kind(ev.DETECTION):
+    for record in iter_kind(ev.DETECTION):
         target = NodeId(int(record.detail["target"]))
         if target not in first_detection:
             first_detection[target] = record.time

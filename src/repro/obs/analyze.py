@@ -1,0 +1,383 @@
+"""Post-hoc trace analysis: summaries, timelines, latency, lineage.
+
+Everything here consumes an *iterable* of
+:class:`~repro.sim.trace.TraceRecord` -- a ``RecordingTracer.records``
+list or a streamed :func:`~repro.obs.spool.iter_spool` -- and reduces it
+in one pass, so analyzing a multi-gigabyte spool never materializes it.
+
+The scenario runner stamps every run with a ``meta.scenario`` record
+(phi, thop, node count, seed) and, when profiling, one ``profile.phase``
+record per phase; the analyzers use those to express detection latency
+in heartbeat-interval (phi) units and to report per-phase time shares
+from the spool alone.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import (
+    HOP_LATENCY_BUCKETS,
+    PHI_LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+from repro.sim.trace import TraceRecord
+
+#: Kind of the run-description record the scenario runner emits first.
+META_KIND = "meta.scenario"
+#: Kind of the per-phase wall-clock records emitted at run end.
+PROFILE_KIND = "profile.phase"
+#: Kind the node runtime emits when a node fail-stops.
+CRASH_KIND = "sim.crash"
+
+#: Detail keys that name sets of node ids a record is "about".
+_NODE_SET_KEYS = ("failures", "covered", "pending", "admissions")
+#: Detail keys that name a single node id a record is "about".
+_NODE_KEYS = ("target", "old_head", "sender")
+
+
+@dataclass
+class TraceMeta:
+    """The run parameters recovered from a ``meta.scenario`` record."""
+
+    phi: float = 1.0
+    thop: float = 0.0
+    nodes: int = 0
+    seed: Optional[int] = None
+    executions: int = 0
+    fds_start: float = 0.0
+    found: bool = False
+
+    @classmethod
+    def from_record(cls, record: TraceRecord) -> "TraceMeta":
+        d = record.detail
+        return cls(
+            phi=float(d.get("phi", 1.0)),
+            thop=float(d.get("thop", 0.0)),
+            nodes=int(d.get("nodes", 0)),
+            seed=d.get("seed"),
+            executions=int(d.get("executions", 0)),
+            fds_start=float(d.get("fds_start", 0.0)),
+            found=True,
+        )
+
+    def execution_of(self, time: float) -> int:
+        """Which FDS execution a timestamp falls in (floor by phi)."""
+        if self.phi <= 0:
+            return 0
+        return int((time - self.fds_start) // self.phi)
+
+    def round_label(self, time: float) -> str:
+        """R-1/R-2/R-3 (or the gap) a timestamp falls in."""
+        if self.phi <= 0 or self.thop <= 0:
+            return "?"
+        offset = (time - self.fds_start) % self.phi
+        if offset < self.thop:
+            return "R-1"
+        if offset < 2 * self.thop:
+            return "R-2"
+        if offset < 3 * self.thop:
+            return "R-3"
+        return "post"
+
+
+@dataclass
+class TraceSummary:
+    """One-pass reduction of a trace."""
+
+    meta: TraceMeta = field(default_factory=TraceMeta)
+    records: int = 0
+    first_time: Optional[float] = None
+    last_time: Optional[float] = None
+    kinds: Counter = field(default_factory=Counter)
+    #: phase -> (seconds, calls), from ``profile.phase`` records.
+    phases: Dict[str, Tuple[float, int]] = field(default_factory=dict)
+    #: node -> crash time.
+    crash_times: Dict[int, float] = field(default_factory=dict)
+    #: target -> first detection time.
+    first_detection: Dict[int, float] = field(default_factory=dict)
+    #: per-hop delivery latencies were observed into the registry.
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def span(self) -> float:
+        if self.first_time is None or self.last_time is None:
+            return 0.0
+        return self.last_time - self.first_time
+
+    def detection_latencies_phi(self) -> Dict[int, Optional[float]]:
+        """Crash-to-first-detection latency per crashed node, in phi units
+        (``None`` when the crash was never detected)."""
+        phi = self.meta.phi if self.meta.phi > 0 else 1.0
+        out: Dict[int, Optional[float]] = {}
+        for node, crashed_at in sorted(self.crash_times.items()):
+            detected_at = self.first_detection.get(node)
+            out[node] = (
+                None if detected_at is None else (detected_at - crashed_at) / phi
+            )
+        return out
+
+    def phase_shares(self) -> List[Tuple[str, float, float, int]]:
+        """``(phase, seconds, share, calls)``, largest first."""
+        total = sum(seconds for seconds, _ in self.phases.values())
+        rows = [
+            (phase, seconds, (seconds / total if total else 0.0), calls)
+            for phase, (seconds, calls) in self.phases.items()
+        ]
+        rows.sort(key=lambda r: (-r[1], r[0]))
+        return rows
+
+
+def summarize(records: Iterable[TraceRecord]) -> TraceSummary:
+    """Reduce a record stream to a :class:`TraceSummary` in one pass."""
+    summary = TraceSummary()
+    hop = summary.registry.histogram(
+        "repro_hop_latency_seconds",
+        HOP_LATENCY_BUCKETS,
+        help="Per-hop delivery latency of received copies",
+    )
+    for record in records:
+        summary.records += 1
+        if summary.first_time is None:
+            summary.first_time = record.time
+        summary.last_time = record.time
+        summary.kinds[record.kind] += 1
+        if record.kind == META_KIND and not summary.meta.found:
+            summary.meta = TraceMeta.from_record(record)
+        elif record.kind == PROFILE_KIND:
+            phase = str(record.detail.get("phase", "?"))
+            seconds = float(record.detail.get("seconds", 0.0))
+            calls = int(record.detail.get("calls", 0))
+            old_s, old_c = summary.phases.get(phase, (0.0, 0))
+            summary.phases[phase] = (old_s + seconds, old_c + calls)
+        elif record.kind == CRASH_KIND and record.node is not None:
+            summary.crash_times.setdefault(int(record.node), record.time)
+        elif record.kind == "fds.detection":
+            target = record.detail.get("target")
+            if target is not None:
+                summary.first_detection.setdefault(int(target), record.time)
+        elif record.kind == "radio.rx":
+            latency = record.detail.get("latency")
+            if latency is not None:
+                hop.observe(float(latency))
+    phi_hist = summary.registry.histogram(
+        "repro_detection_latency_phi",
+        PHI_LATENCY_BUCKETS,
+        help="Crash-to-first-detection latency in heartbeat intervals",
+    )
+    for latency in summary.detection_latencies_phi().values():
+        if latency is not None:
+            phi_hist.observe(latency)
+    counters = summary.registry
+    counters.counter(
+        "repro_trace_records_total", "Records in the analyzed trace"
+    ).inc(summary.records)
+    counters.counter(
+        "repro_trace_detections_total", "fds.detection events"
+    ).inc(summary.kinds.get("fds.detection", 0))
+    counters.counter(
+        "repro_trace_crashes_total", "sim.crash events"
+    ).inc(len(summary.crash_times))
+    return summary
+
+
+def timeline(
+    records: Iterable[TraceRecord],
+    bucket: Optional[float] = None,
+    groups: Tuple[str, ...] = ("radio", "fds", "sim"),
+) -> Tuple[List[Tuple[float, Dict[str, int]]], TraceMeta]:
+    """Bucketed event counts per top-level kind group.
+
+    ``bucket`` defaults to the trace's phi (one row per FDS execution).
+    Returns ``(rows, meta)`` where each row is ``(bucket_start, counts)``.
+    """
+    meta = TraceMeta()
+    buckets: Dict[int, Dict[str, int]] = {}
+    pending: List[TraceRecord] = []
+
+    def charge(record: TraceRecord, width: float) -> None:
+        index = int(record.time // width) if width > 0 else 0
+        counts = buckets.setdefault(index, {g: 0 for g in groups})
+        group = record.kind.split(".", 1)[0]
+        if group in counts:
+            counts[group] += 1
+
+    width = bucket if bucket is not None else 0.0
+    for record in records:
+        if record.kind == META_KIND and not meta.found:
+            meta = TraceMeta.from_record(record)
+            if bucket is None:
+                width = meta.phi
+        if width <= 0.0:
+            pending.append(record)
+        else:
+            for held in pending:
+                charge(held, width)
+            pending.clear()
+            charge(record, width)
+    if width <= 0.0:
+        width = 1.0
+        for held in pending:
+            charge(held, width)
+        pending.clear()
+    rows = [
+        (index * width, counts) for index, counts in sorted(buckets.items())
+    ]
+    return rows, meta
+
+
+# ----------------------------------------------------------------------
+# Lineage
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LineageEvent:
+    """One step in a failure report's reconstructed path."""
+
+    time: float
+    execution: int
+    round: str
+    kind: str
+    node: Optional[int]
+    note: str
+
+
+@dataclass
+class Lineage:
+    """The reconstructed life of one failure report (``target``)."""
+
+    target: int
+    crash_time: Optional[float]
+    events: List[LineageEvent]
+    detectors: Tuple[int, ...]
+    forward_hops: int
+    relays: int
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.detectors)
+
+    @property
+    def crossed_boundary(self) -> bool:
+        return self.forward_hops > 0 and self.relays > 0
+
+
+def _mentions(record: TraceRecord, target: int) -> bool:
+    detail = record.detail
+    for key in _NODE_KEYS:
+        value = detail.get(key)
+        if value is not None and int(value) == target:
+            return True
+    for key in _NODE_SET_KEYS:
+        value = detail.get(key)
+        if value and target in (int(v) for v in value):
+            return True
+    return False
+
+
+def _note_for(record: TraceRecord) -> str:
+    d = record.detail
+    kind = record.kind
+    if kind == CRASH_KIND:
+        return "node fail-stops (ground truth)"
+    if kind == "fds.detection":
+        return (f"detected by node {d.get('detector')} "
+                f"in execution {d.get('execution')}")
+    if kind == "fds.takeover":
+        return f"DCH {d.get('new_head')} deposes CH {d.get('old_head')}"
+    if kind == "fds.origin_watch":
+        return f"origin CH arms forwarding watch on {d.get('failures')}"
+    if kind == "fds.origin_covered":
+        return f"origin overheard forwarding of {d.get('covered')}"
+    if kind == "fds.origin_rebroadcast":
+        return (f"origin rebroadcast, retry {d.get('retry')} "
+                f"(pending {d.get('pending')})")
+    if kind == "fds.inter_duty":
+        return (f"boundary duty toward head {d.get('dest')} "
+                f"(rank {d.get('rank')}, origin {d.get('origin')})")
+    if kind == "fds.inter_arm":
+        return (f"implicit-ack timer toward {d.get('dest')} "
+                f"({'standby' if d.get('standby') else 'post-forward'})")
+    if kind == "fds.report_forwarded":
+        return (f"FailureReport {d.get('failures')} forwarded across the "
+                f"boundary to head {d.get('peer')}")
+    if kind == "fds.inter_ack":
+        return f"coverage by head {d.get('peer')} acknowledges {d.get('covered')}"
+    if kind == "fds.inter_release":
+        return f"watch toward {d.get('dest')} released"
+    if kind == "fds.relay":
+        return (f"destination CH relays {d.get('failures')} into its "
+                f"cluster (origin {d.get('origin')})")
+    if kind == "fds.refutation":
+        return "suspicion refuted by direct liveness evidence"
+    if kind == "fds.admission":
+        return f"re-admitted as member ({d.get('admissions')})"
+    return ", ".join(f"{k}={v}" for k, v in sorted(d.items()))
+
+
+def lineage(records: Iterable[TraceRecord], target: int) -> Lineage:
+    """Reconstruct the R-1 -> R-3 -> inter-cluster path of one report.
+
+    ``target`` is the report's subject (the crashed node's id).  The
+    chain is everything the trace says about that node, in time order:
+    the ground-truth crash, the R-3 detection at its cluster's authority,
+    the origin watch, each boundary forwarding (``fds.report_forwarded``),
+    the destination relays, and any refutations -- each stamped with the
+    execution index and round (R-1/R-2/R-3) it fell in.
+    """
+    target = int(target)
+    meta = TraceMeta()
+    matched: List[TraceRecord] = []
+    crash_time: Optional[float] = None
+    detectors: List[int] = []
+    forward_hops = 0
+    relays = 0
+    for record in records:
+        if record.kind == META_KIND and not meta.found:
+            meta = TraceMeta.from_record(record)
+            continue
+        if record.kind == CRASH_KIND:
+            if record.node is not None and int(record.node) == target:
+                crash_time = record.time
+                matched.append(record)
+            continue
+        if not record.kind.startswith("fds."):
+            continue
+        if not _mentions(record, target):
+            continue
+        matched.append(record)
+        if record.kind == "fds.detection":
+            detector = record.detail.get("detector")
+            if detector is not None and int(detector) not in detectors:
+                detectors.append(int(detector))
+        elif record.kind == "fds.report_forwarded":
+            forward_hops += 1
+        elif record.kind == "fds.relay":
+            relays += 1
+    if not matched:
+        raise ConfigurationError(
+            f"trace has no events about node {target} (crash, detection, "
+            "or forwarding) -- wrong report id, or the spool filtered fds.*"
+        )
+    matched.sort(key=lambda r: r.time)
+    events = [
+        LineageEvent(
+            time=record.time,
+            execution=meta.execution_of(record.time),
+            round=meta.round_label(record.time),
+            kind=record.kind,
+            node=None if record.node is None else int(record.node),
+            note=_note_for(record),
+        )
+        for record in matched
+    ]
+    return Lineage(
+        target=target,
+        crash_time=crash_time,
+        events=events,
+        detectors=tuple(detectors),
+        forward_hops=forward_hops,
+        relays=relays,
+    )

@@ -1,0 +1,186 @@
+"""Disk-spooling tracer: bounded memory, gzip'd JSONL on disk.
+
+:class:`~repro.sim.trace.RecordingTracer` keeps every record in memory,
+which is unusable for large-field or soak runs (a 200-node scenario
+emits hundreds of thousands of radio records per execution).  A
+:class:`SpoolingTracer` instead streams each record to a JSONL file
+(gzip'd when the path ends in ``.gz``), keeps only a fixed-size ring
+buffer of recent records for in-process inspection, and optionally
+filters by kind prefix so a spool can capture "``fds.`` plus ``sim.``
+and ``meta.``" without paying for the radio firehose.
+
+The on-disk format is one JSON object per line with the same shape
+:func:`repro.sim.trace.iter_jsonl` emits (``time``/``kind``/``node``
+plus the flattened detail), so ``repro trace``, ``jq``, and pandas all
+read it directly; :func:`iter_spool` streams it back as
+:class:`~repro.sim.trace.TraceRecord` objects.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+from collections import deque
+from pathlib import Path
+from typing import Deque, Iterator, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.sim.trace import TraceRecord, Tracer, record_to_dict
+from repro.types import SimTime
+
+#: Fields of the serialized record that are not ``detail`` entries.
+_CORE_FIELDS = ("time", "kind", "node")
+
+
+def _kind_matches(kind: str, prefixes: Sequence[str]) -> bool:
+    """Segment-aware prefix match (``"fds"`` matches ``"fds.detection"``,
+    not ``"fdsx"``)."""
+    for prefix in prefixes:
+        if kind == prefix or kind.startswith(prefix + "."):
+            return True
+    return False
+
+
+class SpoolingTracer(Tracer):
+    """Streams records to disk; holds only a bounded tail in memory."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        kinds: Optional[Sequence[str]] = None,
+        tail: int = 1024,
+        flush_every: int = 4096,
+    ) -> None:
+        """``kinds`` keeps only records whose kind equals, or is nested
+        under, one of the given prefixes (``None`` keeps everything).
+        ``tail`` bounds the in-memory ring buffer; ``flush_every`` is the
+        record interval between explicit stream flushes (crash-tolerant
+        spools want small values; throughput wants large ones).
+        """
+        if tail < 0:
+            raise ConfigurationError(f"tail must be >= 0, got {tail}")
+        if flush_every < 1:
+            raise ConfigurationError(
+                f"flush_every must be >= 1, got {flush_every}"
+            )
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._prefixes = tuple(kinds) if kinds is not None else None
+        self._tail: Deque[TraceRecord] = deque(maxlen=tail)
+        self._flush_every = flush_every
+        #: Records written to disk (post-filter).
+        self.spooled = 0
+        #: Records dropped by the kind filter.
+        self.filtered = 0
+        if self.path.suffix == ".gz":
+            self._handle: io.TextIOBase = gzip.open(
+                self.path, "wt", encoding="utf-8"
+            )
+        else:
+            self._handle = self.path.open("w", encoding="utf-8")
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def emit(self, record: TraceRecord) -> None:
+        if self._closed:
+            raise ConfigurationError(
+                f"SpoolingTracer {self.path} is closed; no further records"
+            )
+        if self._prefixes is not None and not _kind_matches(
+            record.kind, self._prefixes
+        ):
+            self.filtered += 1
+            return
+        self._handle.write(json.dumps(record_to_dict(record), sort_keys=True))
+        self._handle.write("\n")
+        self.spooled += 1
+        self._tail.append(record)
+        if self.spooled % self._flush_every == 0:
+            self._handle.flush()
+
+    # ------------------------------------------------------------------
+    def tail_records(self) -> tuple:
+        """The most recent spooled records (up to the ring size)."""
+        return tuple(self._tail)
+
+    def flush(self) -> None:
+        if not self._closed:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._handle.flush()
+        finally:
+            self._handle.close()
+
+    def __enter__(self) -> "SpoolingTracer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Reading spools back
+# ----------------------------------------------------------------------
+def _open_spool(path: Path) -> io.TextIOBase:
+    """Open a spool for reading, sniffing gzip by magic bytes (a spool
+    renamed without its ``.gz`` suffix still loads)."""
+    with path.open("rb") as probe:
+        magic = probe.read(2)
+    if magic == b"\x1f\x8b":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return path.open("r", encoding="utf-8")
+
+
+def iter_spool(
+    path: Union[str, Path],
+    kinds: Optional[Sequence[str]] = None,
+) -> Iterator[TraceRecord]:
+    """Stream a spool file back as :class:`TraceRecord` objects.
+
+    Torn final lines (a run killed mid-write) are skipped, matching the
+    campaign telemetry reader's policy: an incomplete line carries no
+    completed event.
+    """
+    path = Path(path)
+    if not path.is_file():
+        raise ConfigurationError(f"no trace spool at {path}")
+    prefixes = tuple(kinds) if kinds is not None else None
+    with _open_spool(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            kind = payload.get("kind", "")
+            if prefixes is not None and not _kind_matches(kind, prefixes):
+                continue
+            detail = {
+                key: value
+                for key, value in payload.items()
+                if key not in _CORE_FIELDS
+            }
+            yield TraceRecord(
+                time=SimTime(payload.get("time", 0.0)),
+                kind=kind,
+                node=payload.get("node"),
+                detail=detail,
+            )
+
+
+def read_spool(
+    path: Union[str, Path],
+    kinds: Optional[Sequence[str]] = None,
+) -> list:
+    """Materialize a spool (small files / tests); prefer :func:`iter_spool`."""
+    return list(iter_spool(path, kinds=kinds))

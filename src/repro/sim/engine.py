@@ -14,9 +14,11 @@ fancier.  Determinism rules:
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Optional
 
 from repro.errors import SchedulingError, SimulationError
+from repro.obs.profiler import NULL_PROFILER, PHASE_SIM_HEAP, PhaseProfiler
 from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue
 from repro.types import SimTime
 
@@ -31,11 +33,21 @@ class Simulator:
         sim.run()
     """
 
-    def __init__(self, start_time: SimTime = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: SimTime = 0.0,
+        profiler: Optional[PhaseProfiler] = None,
+    ) -> None:
         self._now: SimTime = start_time
         self._queue = EventQueue()
         self._running = False
         self._processed = 0
+        #: Phase profiler consulted by the engine and every component
+        #: holding this simulator (the medium, the FDS rounds).  The
+        #: disabled default costs one attribute load per hot call.
+        self.profiler: PhaseProfiler = (
+            profiler if profiler is not None else NULL_PROFILER
+        )
 
     @property
     def now(self) -> SimTime:
@@ -112,7 +124,15 @@ class Simulator:
         """
         if not self._queue:
             return False
-        time, _priority, _sequence, callback, _event = self._queue.pop_entry()
+        profiler = self.profiler
+        if profiler.enabled:
+            # Event-heap churn: the pop (and lazy cancellation skips)
+            # alone, so callback work is charged to its own phase.
+            t0 = perf_counter()
+            time, _priority, _sequence, callback, _event = self._queue.pop_entry()
+            profiler.add(PHASE_SIM_HEAP, t0)
+        else:
+            time, _priority, _sequence, callback, _event = self._queue.pop_entry()
         if time < self._now:  # pragma: no cover - guarded by schedule_at
             raise SimulationError("event queue yielded an event in the past")
         self._now = time

@@ -41,11 +41,13 @@ from __future__ import annotations
 from collections import defaultdict
 from functools import partial
 from itertools import compress
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.errors import MediumError
+from repro.obs.profiler import PHASE_RADIO_DELIVER, PHASE_RADIO_TRANSMIT
 from repro.sim.engine import Simulator
 from repro.sim.loss import LossModel, PerfectLinks
 from repro.sim.trace import NullTracer, Tracer
@@ -254,9 +256,26 @@ class RadioMedium:
             raise MediumError(f"sender {sender} is not registered")
         if recipient is not None and recipient not in self._positions:
             raise MediumError(f"recipient {recipient} is not registered")
-        if not self.vectorized:
-            return self._transmit_scalar(sender, payload, recipient)
+        profiler = self.sim.profiler
+        if not profiler.enabled:
+            if not self.vectorized:
+                return self._transmit_scalar(sender, payload, recipient)
+            return self._transmit_vectorized(sender, payload, recipient)
+        t0 = perf_counter()
+        try:
+            if not self.vectorized:
+                return self._transmit_scalar(sender, payload, recipient)
+            return self._transmit_vectorized(sender, payload, recipient)
+        finally:
+            profiler.add(PHASE_RADIO_TRANSMIT, t0)
 
+    def _transmit_vectorized(
+        self,
+        sender: NodeId,
+        payload: object,
+        recipient: Optional[NodeId],
+    ) -> int:
+        """The batched-RNG fan-out (see module doc, "Hot-path design")."""
         now = self.sim.now
         self.transmissions += 1
         tracer = self.tracer
@@ -369,8 +388,17 @@ class RadioMedium:
                 node=int(receiver),
                 sender=int(envelope.sender),
                 overheard=envelope.overheard,
+                latency=envelope.received_at - envelope.sent_at,
             )
-        self._handlers[receiver](envelope)
+        profiler = self.sim.profiler
+        if profiler.enabled:
+            t0 = perf_counter()
+            try:
+                self._handlers[receiver](envelope)
+            finally:
+                profiler.add(PHASE_RADIO_DELIVER, t0)
+        else:
+            self._handlers[receiver](envelope)
 
     def _schedule_delivery(self, receiver: NodeId, envelope: Envelope) -> None:
         self.sim.schedule_at(

@@ -131,6 +131,12 @@ class SimNode:
         if self.status is NodeStatus.CRASHED:
             raise NodeStateError(f"node {self.node_id} is already crashed")
         self.status = NodeStatus.CRASHED
+        # Ground-truth marker for post-hoc analysis: a spooled trace can
+        # compute crash-to-detection latency without the live network.
+        if self.medium.tracer.enabled:
+            self.medium.tracer.record(
+                self.sim.now, "sim.crash", node=int(self.node_id)
+            )
         self.medium.set_receiving(self.node_id, False)
         self.timers.stop_all()
         for protocol in self.protocols:

@@ -9,10 +9,12 @@ whatever tracer the network was built with; the default
 
 from __future__ import annotations
 
-from collections import Counter
+import json
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Mapping, Optional
+from typing import Callable, Dict, Iterator, Mapping, Optional
 
+from repro.errors import ConfigurationError
 from repro.types import SimTime
 
 
@@ -78,12 +80,37 @@ class NullTracer(Tracer):
 
 
 class RecordingTracer(Tracer):
-    """Keeps every record in memory; supports filtering and counting."""
+    """Keeps records in memory; supports filtering and counting.
 
-    def __init__(self) -> None:
-        self.records: list[TraceRecord] = []
+    By default the buffer is unbounded (tests want every record).  Runs
+    that cannot afford that can pass ``max_records``: once full, the
+    *oldest* record is dropped per new one and ``dropped`` counts the
+    evictions, so a long run keeps a sliding window instead of dying --
+    and the consumer can tell the window was clipped.  For genuinely
+    large traces use :class:`repro.obs.spool.SpoolingTracer`, which
+    streams to disk instead.
+    """
+
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        if max_records is not None and max_records < 1:
+            raise ConfigurationError(
+                f"max_records must be >= 1 or None, got {max_records}"
+            )
+        self.max_records = max_records
+        self.records: deque[TraceRecord] | list[TraceRecord]
+        if max_records is None:
+            self.records = []
+        else:
+            self.records = deque(maxlen=max_records)
+        #: Records evicted by the drop-oldest overflow policy.
+        self.dropped = 0
 
     def emit(self, record: TraceRecord) -> None:
+        if (
+            self.max_records is not None
+            and len(self.records) == self.max_records
+        ):
+            self.dropped += 1
         self.records.append(record)
 
     def __len__(self) -> int:
@@ -112,29 +139,38 @@ class RecordingTracer(Tracer):
         self.records.clear()
 
 
-def records_to_jsonl(records: Iterator[TraceRecord] | list[TraceRecord]) -> str:
-    """Serialize trace records as JSON Lines (one record per line).
+def record_to_dict(record: TraceRecord) -> Dict[str, object]:
+    """The record's flat-dict serialization (detail keys inlined)."""
+    return {
+        "time": record.time,
+        "kind": record.kind,
+        "node": record.node,
+        **dict(record.detail),
+    }
 
-    The standard interchange for post-hoc analysis: load into pandas,
-    ``jq``, or a notebook.  Detail values must be JSON-serializable (the
-    library's own emitters only use ints, floats, bools, strings, lists).
+
+def iter_jsonl(
+    records: Iterator[TraceRecord] | list[TraceRecord],
+) -> Iterator[str]:
+    """One JSON line per record, streamed.
+
+    The memory-safe serialization path: consumers that write to disk or
+    feed a hash incrementally never hold more than one line.  Detail
+    values must be JSON-serializable (the library's own emitters only use
+    ints, floats, bools, strings, lists).
     """
-    import json
-
-    lines = []
     for record in records:
-        lines.append(
-            json.dumps(
-                {
-                    "time": record.time,
-                    "kind": record.kind,
-                    "node": record.node,
-                    **dict(record.detail),
-                },
-                sort_keys=True,
-            )
-        )
-    return "\n".join(lines)
+        yield json.dumps(record_to_dict(record), sort_keys=True)
+
+
+def records_to_jsonl(records: Iterator[TraceRecord] | list[TraceRecord]) -> str:
+    """Serialize trace records as one JSON Lines string.
+
+    A thin join over :func:`iter_jsonl` -- convenient for small traces
+    and tests; streaming consumers should iterate :func:`iter_jsonl`
+    directly instead of materializing the whole document.
+    """
+    return "\n".join(iter_jsonl(records))
 
 
 class CallbackTracer(Tracer):

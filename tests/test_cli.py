@@ -40,3 +40,66 @@ class TestCli:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["not-a-command"])
+
+
+class TestTraceCli:
+    @pytest.fixture(scope="class")
+    def spool(self, tmp_path_factory):
+        """One profiled scenario spooled through the real CLI."""
+        path = tmp_path_factory.mktemp("trace") / "run.jsonl.gz"
+        code = main([
+            "scenario", "--clusters", "2", "--members", "12",
+            "--executions", "4", "--crashes", "1", "--seed", "5",
+            "--trace-out", str(path), "--profile",
+        ])
+        assert code == 0
+        return path
+
+    def test_scenario_reports_spool_and_phases(self, spool, capsys):
+        main(["trace", "summarize", str(spool)])
+        out = capsys.readouterr().out
+        assert "Record kinds" in out
+        assert "Phase time shares" in out
+        assert "radio.transmit" in out
+        assert "Detection latency" in out
+
+    def test_summarize_json_and_metrics_out(self, spool, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        assert main([
+            "trace", "summarize", str(spool), "--json",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        import json as json_mod
+
+        payload = json_mod.loads(out[:out.rindex("}") + 1])
+        assert payload["meta"]["nodes"] > 0
+        assert payload["phases"]
+        text = metrics.read_text(encoding="utf-8")
+        assert "# TYPE repro_detection_latency_phi histogram" in text
+        assert 'repro_detection_latency_phi_bucket{le="+Inf"}' in text
+
+    def test_latency(self, spool, capsys):
+        assert main(["trace", "latency", str(spool)]) == 0
+        out = capsys.readouterr().out
+        assert "latency (phi)" in out
+
+    def test_timeline(self, spool, capsys):
+        assert main(["trace", "timeline", str(spool)]) == 0
+        assert "Events per" in capsys.readouterr().out
+
+    def test_lineage_detected_exit_zero(self, spool, capsys):
+        from repro.obs.spool import read_spool
+
+        crash = read_spool(spool, kinds=("sim.crash",))[0]
+        assert main(["trace", "lineage", str(spool), str(crash.node)]) == 0
+        out = capsys.readouterr().out
+        assert "sim.crash" in out and "fds.detection" in out
+
+    def test_lineage_unknown_node_exit_one(self, spool, capsys):
+        assert main(["trace", "lineage", str(spool), "99999"]) == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_missing_spool_is_an_error(self, tmp_path, capsys):
+        assert main(["trace", "summarize", str(tmp_path / "no.jsonl")]) == 1
+        assert "error:" in capsys.readouterr().out

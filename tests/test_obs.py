@@ -1,0 +1,410 @@
+"""Tests for the observability subsystem (repro.obs).
+
+Covers the metrics registry (handles, exposition), the phase profiler,
+the disk-spooling tracer (filtering, ring tail, gzip round-trip), the
+trace analyzers (summarize / timeline / lineage over a real scenario
+spool), and the bounded RecordingTracer satellite.
+"""
+
+import gzip
+import json
+import math
+import re
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.obs.analyze import lineage, summarize, timeline
+from repro.obs.profiler import (
+    NULL_PROFILER,
+    PHASE_FDS_INTERCLUSTER,
+    PHASE_FDS_R1,
+    PHASE_RADIO_TRANSMIT,
+    PHASE_SIM_HEAP,
+    PhaseProfiler,
+)
+from repro.obs.registry import (
+    PHI_LATENCY_BUCKETS,
+    MetricsRegistry,
+    scenario_metrics,
+)
+from repro.obs.spool import SpoolingTracer, iter_spool, read_spool
+from repro.sim.trace import RecordingTracer, TraceRecord, iter_jsonl
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counter_and_gauge_handles(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_things_total", "things")
+        c.inc()
+        c.inc(2)
+        assert reg.counter("repro_things_total").value == 3
+        g = reg.gauge("repro_level")
+        g.set(1.5)
+        g.dec(0.5)
+        assert g.value == 1.0
+
+    def test_counter_cannot_decrease(self):
+        c = MetricsRegistry().counter("repro_c_total")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_name_validation(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.counter("bad name")
+        with pytest.raises(ConfigurationError):
+            reg.counter("0leading")
+
+    def test_cross_type_collision(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x")
+        with pytest.raises(ConfigurationError):
+            reg.gauge("repro_x")
+
+    def test_histogram_buckets_validated(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            reg.histogram("repro_h", ())
+        with pytest.raises(ConfigurationError):
+            reg.histogram("repro_h", (2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            reg.histogram("repro_h", (1.0, math.inf))
+        reg.histogram("repro_h", (1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            reg.histogram("repro_h", (1.0, 3.0))
+
+    def test_histogram_observe_and_cumulative(self):
+        h = MetricsRegistry().histogram("repro_h", (1.0, 2.0))
+        for v in (0.5, 1.5, 99.0):
+            h.observe(v)
+        assert h.cumulative() == [(1.0, 1), (2.0, 2), (math.inf, 3)]
+        assert h.count == 3
+        assert h.mean == pytest.approx((0.5 + 1.5 + 99.0) / 3)
+
+    def test_prometheus_exposition_parses(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_events_total", "All events").inc(7)
+        reg.gauge("repro_rate").set(2.5)
+        h = reg.histogram("repro_lat", (0.5, 1.0), help="latency")
+        h.observe(0.25)
+        h.observe(3.0)
+        text = reg.render_prometheus()
+        # Every non-comment line: metric{optional labels} <number>.
+        sample = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="[^"]+"\})? '
+            r"[-+]?((\d+(\.\d+)?([eE][-+]?\d+)?)|inf|nan)$"
+        )
+        lines = [l for l in text.splitlines() if l and not l.startswith("#")]
+        assert lines
+        for line in lines:
+            assert sample.match(line), line
+        assert 'repro_lat_bucket{le="+Inf"} 2' in text
+        assert "repro_lat_sum 3.25" in text
+        assert "repro_lat_count 2" in text
+        assert "# TYPE repro_events_total counter" in text
+
+    def test_json_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_a_total").inc()
+        payload = json.loads(json.dumps(reg.to_json()))
+        assert payload["counters"]["repro_a_total"] == 1
+
+
+# ----------------------------------------------------------------------
+# Profiler
+# ----------------------------------------------------------------------
+class TestPhaseProfiler:
+    def test_add_accumulates(self):
+        from time import perf_counter
+
+        p = PhaseProfiler()
+        t0 = perf_counter()
+        p.add(PHASE_RADIO_TRANSMIT, t0)
+        p.add(PHASE_RADIO_TRANSMIT, t0)
+        p.add_seconds(PHASE_SIM_HEAP, 1.0, calls=5)
+        assert p.calls[PHASE_RADIO_TRANSMIT] == 2
+        assert p.calls[PHASE_SIM_HEAP] == 5
+        assert p.total_seconds >= 1.0
+
+    def test_shares_sum_to_one(self):
+        p = PhaseProfiler()
+        p.add_seconds(PHASE_FDS_R1, 3.0)
+        p.add_seconds(PHASE_FDS_INTERCLUSTER, 1.0)
+        rows = p.shares()
+        assert rows[0][0] == PHASE_FDS_R1
+        assert sum(share for _p, _s, share, _c in rows) == pytest.approx(1.0)
+
+    def test_null_profiler_is_disabled_and_inert(self):
+        assert NULL_PROFILER.enabled is False
+        NULL_PROFILER.add(PHASE_FDS_R1, 0.0)
+        NULL_PROFILER.add_seconds(PHASE_FDS_R1, 1.0)
+        assert NULL_PROFILER.seconds == {}
+
+    def test_reset(self):
+        p = PhaseProfiler()
+        p.add_seconds(PHASE_FDS_R1, 1.0)
+        p.reset()
+        assert p.total_seconds == 0.0
+
+
+# ----------------------------------------------------------------------
+# Bounded RecordingTracer (satellite)
+# ----------------------------------------------------------------------
+class TestBoundedRecordingTracer:
+    def test_drop_oldest_and_counter(self):
+        tracer = RecordingTracer(max_records=3)
+        for i in range(5):
+            tracer.record(float(i), "k", node=i)
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [r.time for r in tracer.records] == [2.0, 3.0, 4.0]
+
+    def test_unbounded_default_never_drops(self):
+        tracer = RecordingTracer()
+        for i in range(100):
+            tracer.record(float(i), "k")
+        assert len(tracer) == 100
+        assert tracer.dropped == 0
+
+    def test_max_records_validated(self):
+        with pytest.raises(ConfigurationError):
+            RecordingTracer(max_records=0)
+
+    def test_iter_jsonl_streams(self):
+        tracer = RecordingTracer()
+        tracer.record(1.0, "radio.tx", node=4, size=7)
+        lines = iter_jsonl(tracer.records)
+        assert next(iter(lines)) == json.dumps(
+            {"time": 1.0, "kind": "radio.tx", "node": 4, "size": 7},
+            sort_keys=True,
+        )
+
+
+# ----------------------------------------------------------------------
+# Spooling tracer
+# ----------------------------------------------------------------------
+class TestSpoolingTracer:
+    def test_roundtrip_plain(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with SpoolingTracer(path) as tracer:
+            tracer.record(1.0, "radio.tx", node=1, size=3)
+            tracer.record(2.0, "fds.detection", node=2, target=9)
+        records = read_spool(path)
+        assert [r.kind for r in records] == ["radio.tx", "fds.detection"]
+        assert records[1].detail["target"] == 9
+
+    def test_roundtrip_gzip(self, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        with SpoolingTracer(path) as tracer:
+            tracer.record(1.0, "radio.tx", node=1)
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            assert json.loads(handle.readline())["kind"] == "radio.tx"
+        assert read_spool(path)[0].kind == "radio.tx"
+
+    def test_kind_prefix_filter_is_segment_aware(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with SpoolingTracer(path, kinds=("fds", "meta")) as tracer:
+            tracer.record(1.0, "fds.detection", node=1)
+            tracer.record(1.0, "fdsx.not_ours", node=1)
+            tracer.record(1.0, "radio.tx", node=1)
+            tracer.record(1.0, "meta.scenario")
+        assert tracer.spooled == 2
+        assert tracer.filtered == 2
+        assert [r.kind for r in read_spool(path)] == [
+            "fds.detection", "meta.scenario",
+        ]
+
+    def test_tail_ring_is_bounded(self, tmp_path):
+        with SpoolingTracer(tmp_path / "t.jsonl", tail=2) as tracer:
+            for i in range(5):
+                tracer.record(float(i), "k")
+            assert [r.time for r in tracer.tail_records()] == [3.0, 4.0]
+            assert tracer.spooled == 5
+
+    def test_emit_after_close_raises(self, tmp_path):
+        tracer = SpoolingTracer(tmp_path / "t.jsonl")
+        tracer.close()
+        tracer.close()  # idempotent
+        with pytest.raises(ConfigurationError):
+            tracer.record(1.0, "k")
+
+    def test_iter_spool_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"time": 1.0, "kind": "a", "node": null}\n{"time": 2.0, "ki',
+            encoding="utf-8",
+        )
+        assert [r.kind for r in iter_spool(path)] == ["a"]
+
+    def test_iter_spool_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            list(iter_spool(tmp_path / "absent.jsonl"))
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SpoolingTracer(tmp_path / "t.jsonl", tail=-1)
+        with pytest.raises(ConfigurationError):
+            SpoolingTracer(tmp_path / "t.jsonl", flush_every=0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end: scenario -> spool -> analyzers
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def scenario_spool(tmp_path_factory):
+    """A real multi-cluster run spooled to disk with profiling on."""
+    path = tmp_path_factory.mktemp("spool") / "scenario.jsonl.gz"
+    config = ScenarioConfig(
+        cluster_count=3, members_per_cluster=10, crash_count=2,
+        executions=4, seed=7,
+    )
+    with SpoolingTracer(path) as tracer:
+        result = run_scenario(config, tracer=tracer, profiler=PhaseProfiler())
+    return path, config, result
+
+
+class TestTraceAnalysis:
+    def test_summarize_from_spool_alone(self, scenario_spool):
+        path, config, result = scenario_spool
+        summary = summarize(iter_spool(path))
+        assert summary.meta.found
+        assert summary.meta.phi == config.fds.phi
+        assert summary.meta.seed == config.seed
+        assert summary.meta.nodes == len(result.network)
+        assert len(summary.crash_times) == config.crash_count
+        # Profiling was on: per-phase shares are recoverable, and the
+        # built-in phases dominate.
+        shares = summary.phase_shares()
+        assert shares
+        assert sum(s for _p, _sec, s, _c in shares) == pytest.approx(1.0)
+        assert {p for p, _sec, _s, _c in shares} >= {
+            "radio.transmit", "sim.heap", "fds.r1",
+        }
+
+    def test_phi_unit_latency_histogram(self, scenario_spool):
+        path, _config, _result = scenario_spool
+        summary = summarize(iter_spool(path))
+        latencies = summary.detection_latencies_phi()
+        detected = [v for v in latencies.values() if v is not None]
+        assert detected, "scenario produced no detections"
+        hist = summary.registry.histogram(
+            "repro_detection_latency_phi", PHI_LATENCY_BUCKETS
+        )
+        assert hist.count == len(detected)
+        # The paper's detection rule resolves a crash within ~2 phi.
+        assert all(0.0 < v <= 2.0 for v in detected)
+
+    def test_lineage_reconstructs_path_from_spool(self, scenario_spool):
+        path, _config, result = scenario_spool
+        target = next(iter(result.crash_times))
+        chain = lineage(iter_spool(path), int(target))
+        assert chain.crash_time == pytest.approx(result.crash_times[target])
+        assert chain.detected
+        kinds = [e.kind for e in chain.events]
+        assert kinds[0] == "sim.crash"
+        assert "fds.detection" in kinds
+        # Sorted chronologically and stamped with rounds.
+        times = [e.time for e in chain.events]
+        assert times == sorted(times)
+        detection = next(e for e in chain.events if e.kind == "fds.detection")
+        assert detection.round == "R-3"
+
+    def test_lineage_crosses_cluster_boundary(self, scenario_spool):
+        path, _config, result = scenario_spool
+        crossed = 0
+        for target in result.crash_times:
+            chain = lineage(iter_spool(path), int(target))
+            if chain.crossed_boundary:
+                crossed += 1
+        assert crossed >= 1, "no report crossed a boundary in this scenario"
+
+    def test_lineage_unknown_node_raises(self, scenario_spool):
+        path, _config, _result = scenario_spool
+        with pytest.raises(ConfigurationError):
+            lineage(iter_spool(path), 99999)
+
+    def test_timeline_buckets_by_phi(self, scenario_spool):
+        path, config, _result = scenario_spool
+        rows, meta = timeline(iter_spool(path))
+        assert meta.found
+        starts = [start for start, _counts in rows]
+        assert starts == sorted(starts)
+        assert all(start % config.fds.phi == 0 for start in starts)
+        assert sum(c["radio"] for _s, c in rows) > 0
+
+    def test_scenario_metrics_from_recording_run(self):
+        config = ScenarioConfig(
+            cluster_count=2, members_per_cluster=8, crash_count=1,
+            executions=3, seed=11,
+        )
+        result = run_scenario(config)
+        reg = scenario_metrics(result)
+        payload = reg.to_json()
+        assert payload["counters"]["repro_radio_transmissions_total"] == (
+            result.messages.transmissions
+        )
+        assert payload["gauges"]["repro_scenario_nodes"] == len(result.network)
+        assert "repro_detection_latency_phi" in payload["histograms"]
+
+    def test_detection_latency_graceful_without_records(self, scenario_spool):
+        # With a spooling tracer the in-memory latency view degrades to
+        # all-None (the spool is the authority), never a crash.
+        _path, _config, result = scenario_spool
+        latencies = result.detection_latencies
+        assert set(latencies) == set(result.crash_times)
+        assert all(v is None for v in latencies.values())
+
+    def test_profile_and_meta_records_in_spool(self, scenario_spool):
+        path, _config, _result = scenario_spool
+        metas = read_spool(path, kinds=("meta.scenario",))
+        profiles = read_spool(path, kinds=("profile.phase",))
+        assert len(metas) == 1
+        assert profiles
+        assert all(r.detail["seconds"] >= 0 for r in profiles)
+
+
+# ----------------------------------------------------------------------
+# The determinism contract: observability must not perturb results
+# ----------------------------------------------------------------------
+class TestObservabilityIsPassive:
+    def test_profiled_run_is_bit_identical(self, tmp_path):
+        config = ScenarioConfig(
+            cluster_count=2, members_per_cluster=8, crash_count=1,
+            executions=3, seed=13,
+        )
+        plain = run_scenario(config)
+        profiled = run_scenario(config, profiler=PhaseProfiler())
+
+        def sim_lines(result):
+            # profile.phase carries wall-clock (nondeterministic by
+            # design); everything the simulation itself emitted must
+            # match bit for bit.
+            return list(iter_jsonl(
+                r for r in result.tracer.records
+                if not r.kind.startswith("profile.")
+            ))
+
+        assert sim_lines(plain) == sim_lines(profiled)
+
+    def test_spooled_run_matches_recorded_run(self, tmp_path):
+        config = ScenarioConfig(
+            cluster_count=2, members_per_cluster=8, crash_count=1,
+            executions=3, seed=13,
+        )
+        recorded = run_scenario(config)
+        path = tmp_path / "t.jsonl"
+        with SpoolingTracer(path) as tracer:
+            run_scenario(config, tracer=tracer)
+        spooled = read_spool(path)
+        in_memory = [
+            r for r in recorded.tracer.records
+            if r.kind != "meta.scenario"
+        ]
+        replay = [r for r in spooled if r.kind != "meta.scenario"]
+        assert [r.kind for r in replay] == [r.kind for r in in_memory]
+        assert [r.time for r in replay] == [r.time for r in in_memory]

@@ -1,0 +1,77 @@
+"""Edge cases of the operations health monitor.
+
+The main suite (test_ops_monitor.py) covers the steady-state contract;
+these tests pin down the corners: a crashed vantage node, a capacity
+threshold set exactly at the deployed count, and the zero-deployment
+division guard.
+"""
+
+from repro.failure.injection import FailureInjector
+from repro.ops.monitor import HealthMonitor, HealthSnapshot
+from repro.topology.placement import cluster_disk_placement
+from repro.types import NodeId
+
+from tests.fds_helpers import deploy
+
+
+class TestHealthMonitorEdges:
+    def _world(self, rng):
+        placement = cluster_disk_placement(15, 100.0, rng)
+        deployment, _layout, _tracer, network = deploy(placement)
+        return deployment, network
+
+    def test_poll_survives_crashed_vantage(self, rng):
+        # The monitor is a consumer of the vantage's FDS state; that
+        # state outlives the node, so polling after the vantage itself
+        # fail-stopped must still work -- and a node never believes in
+        # its own failure, so it stays out of believed_failed.
+        deployment, network = self._world(rng)
+        injector = FailureInjector(network, deployment.config)
+        injector.crash_before_execution(NodeId(3), execution=1)
+        monitor = HealthMonitor(deployment, vantage=3, capacity_threshold=14)
+        deployment.run_executions(3)
+        snapshot = monitor.poll()
+        assert NodeId(3) not in snapshot.believed_failed
+        # The dead vantage's view is frozen at its crash: it believes
+        # everyone (including itself) operational.
+        assert snapshot.believed_operational == 16
+        assert monitor.accuracy_against_truth() == 1.0
+
+    def test_threshold_equal_to_deployed_count(self, rng):
+        # Exactly-at-threshold is healthy (the advisory condition is
+        # strictly below); one believed failure then trips it and asks
+        # for exactly one replacement.
+        deployment, network = self._world(rng)
+        injector = FailureInjector(network, deployment.config)
+        monitor = HealthMonitor(deployment, vantage=0, capacity_threshold=16)
+        deployment.run_executions(1)
+        monitor.poll()
+        assert monitor.advisories == []
+        injector.crash_before_execution(NodeId(5), execution=2)
+        deployment.run_executions(3)
+        snapshot = monitor.poll()
+        assert snapshot.believed_operational == 15
+        assert len(monitor.advisories) == 1
+        assert monitor.advisories[0].replacements_needed == 1
+
+    def test_zero_deployment_guard(self):
+        # A snapshot over an empty deployment must not divide by zero.
+        snapshot = HealthSnapshot(
+            time=0.0, vantage=NodeId(0), deployed=0,
+            believed_failed=frozenset(),
+        )
+        assert snapshot.believed_loss_fraction == 0.0
+        assert snapshot.believed_operational == 0
+
+    def test_loss_fraction_counts_believed_not_truth(self, rng):
+        # The fraction is over *beliefs*: three detected crashes out of
+        # sixteen deployed, regardless of when ground truth happened.
+        deployment, network = self._world(rng)
+        injector = FailureInjector(network, deployment.config)
+        for i, victim in enumerate((3, 5, 7)):
+            injector.crash_before_execution(NodeId(victim), execution=i + 1)
+        monitor = HealthMonitor(deployment, vantage=0, capacity_threshold=10)
+        deployment.run_executions(4)
+        snapshot = monitor.poll()
+        assert snapshot.believed_loss_fraction == 3 / 16
+        assert monitor.advisories == []
