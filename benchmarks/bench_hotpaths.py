@@ -13,6 +13,15 @@ performance trajectory is trackable across PRs.  Three benches:
   serial and across the process pool.
 - **repeat_scenario** -- wall clock of a multi-seed scenario replication
   for 1/2/4 workers, with scaling efficiency relative to serial.
+  Efficiency is computed against the *effective* worker count
+  (requested, capped at CPUs and tasks -- see
+  :func:`repro.util.parallel.effective_workers`), since that is the
+  parallelism the fabric actually deploys.
+- **array_round** -- per-execution cost of the round-level numpy engine
+  (``engine="array"``) at N=1k/10k/100k, with the event engine timed at
+  the smallest size for the speedup pair.  The recorded
+  ``speedup_floor`` is the CI regression gate: a run whose measured
+  speedup falls below it fails the workflow.
 - **obs_overhead** -- an end-to-end scenario with observability off
   (NULL_PROFILER + NullTracer, the default) vs. fully on (PhaseProfiler
   + SpoolingTracer to gzip).  The disabled ratio is the instrumentation
@@ -48,11 +57,18 @@ from repro.sim.engine import Simulator
 from repro.sim.loss import BernoulliLoss
 from repro.sim.medium import RadioMedium
 from repro.util.geometry import Vec2
+from repro.util.parallel import effective_workers
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 DEFAULT_OUTPUT = RESULTS_DIR / "BENCH_hotpaths.json"
 
 WORKER_COUNTS = (1, 2, 4)
+
+#: CI regression gate: the array engine must stay at least this many
+#: times faster than the event engine per round at the N~1k pair size.
+#: Measured ~260x on the reference container; the floor is deliberately
+#: far below that so only a real regression (not machine noise) trips it.
+ARRAY_ROUND_SPEEDUP_FLOOR = 25.0
 
 
 def _dense_cluster_positions(n: int, radius: float, seed: int) -> list[Vec2]:
@@ -146,6 +162,80 @@ def bench_mc_throughput(trials: int, seed: int = 11) -> dict:
     return {"trials": trials, "n": 100, "p": 0.2, "workers": per_workers}
 
 
+def bench_array_round(quick: bool) -> dict:
+    """Event vs array-engine µs per execution round across field sizes.
+
+    The event engine is timed only at the smallest size (it is the
+    reference, and already costs ~10 s there); larger sizes record the
+    array engine alone, which is the whole point of its existence.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.runner import run_scenario
+    from repro.sim.trace import NullTracer
+
+    sizes = ((9, 110), (36, 277)) if quick else ((9, 110), (36, 277), (3448, 28))
+    executions = 3
+    per_size: dict[str, dict] = {}
+    pair_speedup = None
+
+    def timed(config) -> tuple[float, object]:
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            result = run_scenario(config, tracer=NullTracer())
+            return time.perf_counter() - start, result
+        finally:
+            gc.enable()
+
+    for clusters, members in sizes:
+        n = clusters * (members + 1)
+        config = ScenarioConfig(
+            cluster_count=clusters,
+            members_per_cluster=members,
+            loss_probability=0.1,
+            crash_count=4,
+            executions=executions,
+            seed=1,
+            engine="array",
+        )
+        array_s, result = timed(config)
+        row = {
+            "n": n,
+            "clusters": clusters,
+            "members_per_cluster": members,
+            "executions": executions,
+            "array_s": array_s,
+            "array_us_per_round": 1e6 * array_s / executions,
+            "mean_completeness": result.properties.mean_completeness,
+            "event_s": None,
+            "event_us_per_round": None,
+            "speedup": None,
+        }
+        if (clusters, members) == sizes[0]:
+            event_s, event_result = timed(replace(config, engine="event"))
+            row["event_s"] = event_s
+            row["event_us_per_round"] = 1e6 * event_s / executions
+            row["speedup"] = event_s / array_s
+            row["verdicts_agree"] = (
+                event_result.properties.mean_completeness
+                == result.properties.mean_completeness
+            )
+            pair_speedup = row["speedup"]
+        per_size[str(n)] = row
+
+    return {
+        "executions": executions,
+        "sizes": per_size,
+        "speedup": pair_speedup,
+        "speedup_floor": ARRAY_ROUND_SPEEDUP_FLOOR,
+        "meets_floor": (
+            pair_speedup is not None
+            and pair_speedup >= ARRAY_ROUND_SPEEDUP_FLOOR
+        ),
+    }
+
+
 def bench_repeat_scaling(seeds: int, quick: bool) -> dict:
     config = ScenarioConfig(
         cluster_count=2,
@@ -159,6 +249,7 @@ def bench_repeat_scaling(seeds: int, quick: bool) -> dict:
     serial_wall = None
     reference = None
     for workers in WORKER_COUNTS:
+        effective = effective_workers(workers, len(seed_list))
         start = time.perf_counter()
         result = repeat_scenario(config, seed_list, workers=workers)
         elapsed = time.perf_counter() - start
@@ -167,8 +258,12 @@ def bench_repeat_scaling(seeds: int, quick: bool) -> dict:
             reference = result.metrics
         per_workers[str(workers)] = {
             "wall_s": elapsed,
+            "effective_workers": effective,
             "speedup_vs_serial": serial_wall / elapsed,
-            "scaling_efficiency": serial_wall / elapsed / workers,
+            # Efficiency against the parallelism the fabric actually
+            # deploys: over-asking (4 workers on 1 CPU) degrades to the
+            # effective width instead of losing to pool overhead.
+            "scaling_efficiency": serial_wall / elapsed / effective,
             "bit_identical_to_serial": result.metrics == reference,
         }
     return {
@@ -286,8 +381,27 @@ def main(argv: list[str] | None = None) -> int:
     repeat = bench_repeat_scaling(seeds, args.quick)
     for w, row in repeat["workers"].items():
         print(
-            f"  workers={w}: {row['wall_s']:.2f} s "
+            f"  workers={w} (effective {row['effective_workers']}): "
+            f"{row['wall_s']:.2f} s "
             f"(efficiency {row['scaling_efficiency']:.2f})"
+        )
+
+    print("array engine rounds (event vs array engine) ...")
+    array_round = bench_array_round(args.quick)
+    for n, row in array_round["sizes"].items():
+        line = (
+            f"  N={n}: array {row['array_us_per_round']:.0f} us/round"
+        )
+        if row["event_us_per_round"] is not None:
+            line += (
+                f", event {row['event_us_per_round']:.0f} us/round "
+                f"(speedup {row['speedup']:.0f}x)"
+            )
+        print(line)
+    if not array_round["meets_floor"]:
+        print(
+            f"  WARNING: speedup {array_round['speedup']} below floor "
+            f"{array_round['speedup_floor']}"
         )
 
     print("observability overhead (off vs. profiler + gzip spool) ...")
@@ -299,7 +413,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     payload = {
-        "schema": "bench_hotpaths/v1",
+        "schema": "bench_hotpaths/v2",
         "meta": {
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
             "quick": args.quick,
@@ -311,6 +425,7 @@ def main(argv: list[str] | None = None) -> int:
             "transmit_fanout": fanout,
             "mc_throughput": mc,
             "repeat_scenario": repeat,
+            "array_round": array_round,
             "obs_overhead": obs,
         },
     }

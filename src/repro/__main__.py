@@ -112,6 +112,7 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         executions=args.executions,
         seed=args.seed,
         formation=args.formation,
+        engine=args.engine,
     )
     tracer = None
     profiler = None
@@ -218,6 +219,11 @@ def main(argv: list[str] | None = None) -> int:
     scenario.add_argument("--seed", type=int, default=0)
     scenario.add_argument("--formation", choices=("oracle", "protocol"),
                           default="oracle")
+    scenario.add_argument("--engine", choices=("event", "array"),
+                          default="event",
+                          help="'event' = discrete-event reference; 'array' = "
+                               "round-level numpy engine (oracle formation "
+                               "only, scales to 10^6 nodes)")
     scenario.add_argument("--trace-out", type=str, default="",
                           help="spool the full trace to this .jsonl[.gz] path")
     scenario.add_argument("--profile", action="store_true",

@@ -47,7 +47,12 @@ from repro.audit.invariants import run_audit_statuses
 from repro.experiments.parallel import run_scenario_summaries
 from repro.experiments.runner import ScenarioConfig, ScenarioResult, run_scenario
 from repro.fds.config import FdsConfig
-from repro.fds.events import DETECTION, REFUTATION
+from repro.fds.events import (
+    DETECTION,
+    REFUTATION,
+    TAKEOVER,
+    TAKEOVER_REVERTED,
+)
 from repro.fds.intercluster import InterclusterForwarder
 from repro.fds.messages import FailureReport, HealthStatusUpdate
 from repro.sim.engine import Simulator
@@ -92,7 +97,10 @@ class ScenarioSpec:
         return ()
 
     def to_config(
-        self, vectorized: bool = True, use_digests: bool = True
+        self,
+        vectorized: bool = True,
+        use_digests: bool = True,
+        engine: str = "event",
     ) -> ScenarioConfig:
         return ScenarioConfig(
             cluster_count=self.cluster_count,
@@ -105,6 +113,7 @@ class ScenarioSpec:
             spacing_factor=self.spacing_factor,
             max_backups=self.max_backups,
             vectorized=vectorized,
+            engine=engine,
             fds=self.fds_config(use_digests=use_digests),
         )
 
@@ -260,6 +269,138 @@ def audit_violations(
 
 
 # ----------------------------------------------------------------------
+# Array-engine differential pair
+# ----------------------------------------------------------------------
+#: The record kinds both engines emit with identical semantics -- the
+#: service's externally visible verdicts.  The event engine additionally
+#: traces transport-level kinds (relays, peer requests, gateway duties)
+#: that the round-level engine folds into counters.
+VERDICT_KINDS = (DETECTION, REFUTATION, TAKEOVER, TAKEOVER_REVERTED)
+
+
+def verdict_records(tracer: RecordingTracer) -> List[Tuple]:
+    """The verdict-bearing records of a trace as comparable tuples."""
+    return [
+        (
+            record.time,
+            record.kind,
+            record.node,
+            tuple(sorted(record.detail.items())),
+        )
+        for record in tracer.records
+        if record.kind in VERDICT_KINDS
+    ]
+
+
+def array_engine_violations(
+    spec: ScenarioSpec, event: ScenarioResult
+) -> List[Violation]:
+    """Verdict-level equivalence of the round-level array engine.
+
+    The engines share the placement and faultload streams (bit-identical
+    topology and crash schedule) but draw per-copy loss privately, so
+    the pair compares what is loss-independent or guaranteed:
+
+    - field shape: node/cluster/crash counts must be equal;
+    - crashed-target detections: a crashed node is silent, so its CH
+      detects it at exactly ``0.4*phi + 2*thop`` after the crash no
+      matter what the links do -- the per-target latency maps must be
+      equal entry for entry (including never-detected ``None`` for a
+      crash at the horizon).  The anchor assumes the CH was not already
+      suspecting the target when it crashed, so a target that either
+      engine *falsely* detected before its crash time (possible under
+      heavy loss, and timed by each engine's private draws) is exempt;
+    - guaranteed completeness: when the loss model's drop budget is
+      within the forwarding tolerance, both engines must report every
+      crash to every operational node;
+    - the accuracy oracle: the array run must satisfy the same
+      trace-based refutation discipline as the event run;
+    - perfect links: with no loss draws at all, the verdict-bearing
+      records must match bit for bit, times included.
+
+    Raw completeness under unbounded Bernoulli loss, transmission
+    counts, and transport-level trace kinds are deliberately *not*
+    compared: they depend on which copies each engine's private stream
+    dropped.
+    """
+    array = run_scenario(spec.to_config(engine="array"))
+    violations: List[Violation] = []
+
+    event_summary = event.summary()
+    array_summary = array.summary()
+    for key in ("nodes", "clusters", "crashes"):
+        if event_summary[key] != array_summary[key]:
+            violations.append(
+                Violation(
+                    kind="differential:array",
+                    description=(
+                        f"field shape diverged between engines: {key} "
+                        f"{array_summary[key]} != {event_summary[key]}"
+                    ),
+                )
+            )
+
+    predetected = set()
+    for result in (event, array):
+        for record in result.tracer.iter_kind(DETECTION):
+            target = int(record.detail["target"])
+            crash_time = result.crash_times.get(target)
+            if crash_time is not None and record.time < crash_time:
+                predetected.add(target)
+    event_latencies = {
+        t: v for t, v in event.detection_latencies.items()
+        if t not in predetected
+    }
+    array_latencies = {
+        t: v for t, v in array.detection_latencies.items()
+        if t not in predetected
+    }
+    if event_latencies != array_latencies:
+        violations.append(
+            Violation(
+                kind="differential:array",
+                description=(
+                    "crashed-target detection latencies diverged "
+                    f"(loss-independent anchor): array {array_latencies} "
+                    f"!= event {event_latencies}"
+                ),
+            )
+        )
+
+    if completeness_guaranteed(spec):
+        for label, result in (("event", event), ("array", array)):
+            if result.properties.mean_completeness != 1.0:
+                violations.append(
+                    Violation(
+                        kind="differential:array",
+                        description=(
+                            f"{label} engine incomplete "
+                            f"({result.properties.mean_completeness:.4f}) "
+                            "despite loss within the drop budget"
+                        ),
+                    )
+                )
+
+    violations.extend(
+        Violation(kind="differential:array", description=f"[array] {v.description}")
+        for v in accuracy_violations(spec, array)
+    )
+
+    if spec.loss_kind == "perfect":
+        if verdict_records(event.tracer) != verdict_records(array.tracer):
+            violations.append(
+                Violation(
+                    kind="differential:array",
+                    description=(
+                        "verdict records diverged between engines on "
+                        "loss-free links (must be bit-identical)"
+                    ),
+                )
+            )
+    return violations
+
+
+# ----------------------------------------------------------------------
 # Directed forwarder-conformance probes
 # ----------------------------------------------------------------------
 def probe_forwarder_conformance(spec: ScenarioSpec) -> List[Violation]:
@@ -398,6 +539,7 @@ def check_spec(
     spec: ScenarioSpec,
     check_parallel: bool = True,
     check_probes: bool = True,
+    check_array: bool = True,
 ) -> List[Violation]:
     """Run every paired configuration and oracle; return all violations.
 
@@ -405,6 +547,7 @@ def check_spec(
     code under test is monkeypatched -- patches do not cross process
     boundaries).  ``check_probes=False`` skips the directed forwarder
     probes (used by the shrinker, whose violations are end-to-end).
+    ``check_array=False`` skips the array-engine equivalence pair.
     """
     violations: List[Violation] = []
 
@@ -443,6 +586,8 @@ def check_spec(
     violations.extend(audit_violations(spec, base, "base"))
     violations.extend(audit_violations(spec, scalar, "scalar"))
     violations.extend(audit_violations(spec, ablated, "no-digests"))
+    if check_array:
+        violations.extend(array_engine_violations(spec, base))
     if check_probes:
         violations.extend(probe_forwarder_conformance(spec))
     return violations

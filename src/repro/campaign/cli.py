@@ -76,6 +76,9 @@ def add_campaign_parser(sub: argparse._SubParsersAction) -> None:
     run.add_argument("--seeds", type=int, default=8,
                      help="replication count (seeds seed-base..seed-base+seeds-1)")
     run.add_argument("--seed-base", type=int, default=1)
+    run.add_argument("--engine", choices=("event", "array"), default="event",
+                     help="scenario execution engine ('array' = round-level "
+                          "numpy engine; oracle formation only)")
     _execution_knobs(run)
 
     resume = actions.add_parser(
@@ -122,6 +125,7 @@ def _plan_from_run_args(args: argparse.Namespace) -> CampaignPlan:
         loss_probability=args.loss_p,
         crash_count=args.crashes,
         executions=args.executions,
+        engine=args.engine,
     )
     seeds = list(range(args.seed_base, args.seed_base + args.seeds))
     return scenario_repeat_plan(config, seeds)

@@ -42,7 +42,7 @@ from repro.campaign.plans import CampaignPlan, ChunkTask, execute_chunk
 from repro.campaign.store import ResultStore
 from repro.campaign.telemetry import Progress, Telemetry, read_events
 from repro.errors import ExperimentError
-from repro.util.parallel import resolve_workers
+from repro.util.parallel import note_task_rate, resolve_workers
 
 #: Exit-code vocabulary shared with the CLI.
 STATUS_COMPLETE = "complete"
@@ -286,6 +286,11 @@ def _finish_chunk(
         elapsed_s=elapsed,
     )
     stats = progress.record_chunk(chunk.replications, cache_hit)
+    if not cache_hit and chunk.kind == "scenario":
+        # Feed the fabric's chunk-size tuner with the measured scenario
+        # throughput (MC chunks run at trial rates -- a different unit
+        # entirely -- so only scenario replications qualify).
+        note_task_rate(chunk.replications, elapsed)
     telemetry.emit(
         "chunk_done",
         index=chunk.index,

@@ -23,19 +23,31 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.runner import ScenarioConfig, run_scenario
 from repro.util.parallel import (
+    auto_chunksize,
     chunk_sizes,
+    effective_workers,
+    note_task_rate,
+    observed_task_rate,
     parallel_map,
     resolve_workers,
+    shared_pool,
+    shutdown_shared_pool,
     spawn_rngs,
     spawn_seed_sequences,
 )
 
 __all__ = [
+    "auto_chunksize",
     "chunk_sizes",
+    "effective_workers",
+    "note_task_rate",
+    "observed_task_rate",
     "parallel_map",
     "resolve_workers",
     "run_scenario_summaries",
     "scenario_summary",
+    "shared_pool",
+    "shutdown_shared_pool",
     "spawn_rngs",
     "spawn_seed_sequences",
 ]

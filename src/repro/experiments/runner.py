@@ -71,12 +71,23 @@ class ScenarioConfig:
     spacing_factor: float = 1.6
     #: Per-boundary BGW cap (``None`` = clustering default).
     max_backups: Optional[int] = None
+    #: Execution engine: ``"event"`` runs the discrete-event simulator
+    #: (the scalar reference -- every message is a scheduled callback);
+    #: ``"array"`` runs the round-level numpy engine
+    #: (:mod:`repro.sim.array_engine`), which batches each φ-interval
+    #: across the whole field and scales to 10^6 nodes.  Same placement
+    #: and faultload streams either way; loss draws are engine-private.
+    engine: str = "event"
 
     def __post_init__(self) -> None:
         if self.formation not in ("oracle", "protocol"):
             raise ExperimentError(
                 f"formation must be 'oracle' or 'protocol', got "
                 f"{self.formation!r}"
+            )
+        if self.engine not in ("event", "array"):
+            raise ExperimentError(
+                f"engine must be 'event' or 'array', got {self.engine!r}"
             )
         if self.loss_kind not in LOSS_KINDS:
             raise ExperimentError(
@@ -135,7 +146,7 @@ def run_scenario(
     config: ScenarioConfig,
     tracer: Optional[Tracer] = None,
     profiler: Optional[PhaseProfiler] = None,
-) -> ScenarioResult:
+) -> "ScenarioResult":
     """Build, run, and score one end-to-end scenario.
 
     ``tracer`` overrides the default in-memory :class:`RecordingTracer`
@@ -146,7 +157,18 @@ def run_scenario(
     ``profile.phase`` records at run end.  Either way the run is stamped
     with a ``meta.scenario`` record so post-hoc analysis (``repro
     trace``) can recover phi/thop/seed from the trace alone.
+
+    With ``engine="array"`` the run is delegated to
+    :func:`repro.sim.array_engine.run_array_scenario`; the returned
+    :class:`~repro.sim.array_engine.ArrayScenarioResult` exposes the
+    same scoring surface (``summary()``, ``properties``, ``messages``,
+    ``detection_latencies``, ``crash_times``, verdict-kind trace).
     """
+    if config.engine == "array":
+        from repro.sim.array_engine import run_array_scenario
+
+        return run_array_scenario(config, tracer=tracer, profiler=profiler)
+
     rngs = RngFactory(config.seed)
     positions = multi_cluster_field(
         cluster_count=config.cluster_count,

@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import AbstractSet, FrozenSet, Mapping
 
+import numpy as np
+
 from repro.types import NodeId
 
 
@@ -96,3 +98,55 @@ def apply_ch_failure_rule(
     if inputs.update_received_from == ch:
         return False
     return True
+
+
+# ----------------------------------------------------------------------
+# Array forms of the same rules.
+#
+# The round-level array engine (:mod:`repro.sim.array_engine`) evaluates
+# the rules for *every* monitored node of *every* cluster in one masked
+# reduction.  Keeping the masked forms here, next to the scalar rules
+# they restate, makes the pair easy to audit: each function is the
+# element-wise translation of ``evidence_of`` / ``apply_failure_rule`` /
+# ``apply_ch_failure_rule`` over boolean arrays of any common shape.
+# ----------------------------------------------------------------------
+def evidence_mask(
+    heartbeat: np.ndarray,
+    digest_from: np.ndarray,
+    witnessed: np.ndarray,
+    use_digests: bool = True,
+) -> np.ndarray:
+    """Array form of :meth:`DetectionInputs.evidence_of`.
+
+    Element ``[...]`` is True iff the authority saw a direct heartbeat,
+    a digest *from* the node, or (when ``use_digests``) a digest
+    witnessing the node's heartbeat.  With ``use_digests=False`` the
+    callers pass all-False digest masks (R-2 never runs), so only the
+    heartbeat term can fire -- same reduction as the scalar rule.
+    """
+    evidence = heartbeat | digest_from
+    if use_digests:
+        evidence = evidence | witnessed
+    return evidence
+
+
+def failure_rule_mask(
+    expected: np.ndarray, evidence: np.ndarray
+) -> np.ndarray:
+    """Array form of :func:`apply_failure_rule`.
+
+    ``expected`` marks the members the authority still believes
+    operational; the result marks the newly detected failures.
+    """
+    return expected & ~evidence
+
+
+def ch_failure_rule_mask(
+    ch_evidence: np.ndarray, update_received: np.ndarray
+) -> np.ndarray:
+    """Array form of :func:`apply_ch_failure_rule` (one lane per cluster).
+
+    True where the acting DCH saw neither evidence of the CH nor the
+    CH's R-3 health status update.
+    """
+    return ~ch_evidence & ~update_received

@@ -38,6 +38,17 @@ PHASE_FDS_R3 = "fds.r3"
 PHASE_FDS_R3_END = "fds.r3end"
 PHASE_FDS_INTERCLUSTER = "fds.intercluster"
 PHASE_SIM_HEAP = "sim.heap"
+# Round-level array engine sections (repro.sim.array_engine): layout
+# construction, the whole per-execution loop, and its four inner stages
+# (delivery-mask draws, detection/refutation rules, update/DCH sync,
+# inter-cluster fixpoint), plus final property scoring.
+PHASE_ARRAY_LAYOUT = "array.layout"
+PHASE_ARRAY_ROUNDS = "array.rounds"
+PHASE_ARRAY_DRAWS = "array.draws"
+PHASE_ARRAY_RULES = "array.rules"
+PHASE_ARRAY_SYNC = "array.sync"
+PHASE_ARRAY_INTERCLUSTER = "array.intercluster"
+PHASE_ARRAY_SCORE = "array.score"
 
 
 class PhaseProfiler:

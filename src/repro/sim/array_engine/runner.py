@@ -1,0 +1,364 @@
+"""End-to-end scenario execution through the array engine.
+
+:func:`run_array_scenario` is the array-engine twin of
+:func:`repro.experiments.runner.run_scenario`: same
+:class:`~repro.experiments.runner.ScenarioConfig` in, a result object
+with the same scoring surface out (``summary()``, ``properties``,
+``messages``, ``detection_latencies``, ``crash_times``, a trace with the
+same verdict-bearing record kinds).  The field, the faultload, and the
+crash schedule reuse the *identical* seeded streams as the event engine
+(``stream("placement")``, ``stream("faultload")``), so a scenario's
+topology and ground truth match bit-for-bit across engines; only the
+per-copy loss draws come from the engine-private ``stream("array",
+"loss")``.
+
+Engine restrictions (checked up front, raising
+:class:`~repro.errors.ExperimentError`): oracle formation only, no
+energy tracking, and no stateful loss models (``gilbert``).
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.failure.faultload import Faultload, make_random_crashes
+from repro.metrics.collectors import MessageCounts
+from repro.metrics.properties import PropertyReport, detection_latency
+from repro.obs.analyze import META_KIND, PROFILE_KIND
+from repro.obs.profiler import (
+    PHASE_ARRAY_LAYOUT,
+    PHASE_ARRAY_ROUNDS,
+    PHASE_ARRAY_SCORE,
+    PhaseProfiler,
+)
+from repro.sim.array_engine.layout import ArrayLayout, build_array_layout
+from repro.sim.array_engine.loss import ArrayLossDraw
+from repro.sim.array_engine.rounds import ArrayRoundEngine
+from repro.sim.trace import RecordingTracer, Tracer
+from repro.types import NodeId, SimTime
+from repro.util.rng import RngFactory
+
+
+@dataclass
+class _ArrayClock:
+    """Duck-type of ``network.sim`` for the scoring/oracle surface."""
+
+    now: float
+
+
+class _ArrayNetworkFacade:
+    """Duck-type of :class:`~repro.sim.network.Network` for scoring.
+
+    Provides exactly what the summary and the differential oracles
+    consume: ``sim.now``, ``operational_ids()``, ``crashed_ids()``, and
+    ``len()``.
+    """
+
+    def __init__(
+        self,
+        now: float,
+        operational: Tuple[NodeId, ...],
+        crashed: Tuple[NodeId, ...],
+    ) -> None:
+        self.sim = _ArrayClock(now=now)
+        self._operational = operational
+        self._crashed = crashed
+
+    def operational_ids(self) -> Tuple[NodeId, ...]:
+        return self._operational
+
+    def crashed_ids(self) -> Tuple[NodeId, ...]:
+        return self._crashed
+
+    def __len__(self) -> int:
+        return len(self._operational) + len(self._crashed)
+
+
+class _ArrayLayoutFacade:
+    """Duck-type of ``ClusterLayout`` where only ``len(clusters)`` and
+    clustered-membership checks are consumed."""
+
+    def __init__(self, cluster_count: int, node_count: int) -> None:
+        self.clusters = range(cluster_count)
+        self._node_count = node_count
+
+    def is_clustered(self, node_id: NodeId) -> bool:
+        # The lattice oracle clusters every node (spacing < 2r).
+        return 0 <= int(node_id) < self._node_count
+
+
+@dataclass
+class ArrayScenarioResult:
+    """Array-engine run product, summary-compatible with ScenarioResult."""
+
+    config: "object"  # ScenarioConfig (kept untyped to avoid an import cycle)
+    network: _ArrayNetworkFacade
+    layout: _ArrayLayoutFacade
+    array_layout: ArrayLayout
+    faultload: Faultload
+    properties: PropertyReport
+    messages: MessageCounts
+    tracer: Tracer
+    crash_times: Dict[NodeId, SimTime]
+
+    @property
+    def detection_latencies(self) -> Dict[NodeId, Optional[SimTime]]:
+        return detection_latency(self.tracer, self.crash_times)
+
+    def summary(self) -> Dict[str, float]:
+        latencies = [
+            v for v in self.detection_latencies.values() if v is not None
+        ]
+        return {
+            "nodes": float(len(self.network)),
+            "clusters": float(len(self.layout.clusters)),
+            "crashes": float(len(self.faultload)),
+            "mean_completeness": self.properties.mean_completeness,
+            "accuracy_violations": float(
+                len(self.properties.accuracy_violations)
+            ),
+            "transmissions": float(self.messages.transmissions),
+            "observed_loss_rate": self.messages.loss_rate,
+            "mean_detection_latency": (
+                float(sum(latencies) / len(latencies)) if latencies else 0.0
+            ),
+        }
+
+
+def _crash_executions(
+    faultload: Faultload,
+    node_count: int,
+    executions: int,
+    phi: float,
+    fds_start: float,
+) -> np.ndarray:
+    """First 0-based execution during which each node is crashed.
+
+    The faultload places crash ``k`` (1-based scheduling index) at
+    ``fds_start + (k - 1) * phi + 0.6 * phi`` -- after every round of
+    execution ``k - 1`` but before execution ``k`` -- so the node is
+    alive through execution ``k - 1`` and silent from ``k`` on.  Nodes
+    that never crash get ``executions + 1`` (alive past the horizon).
+    """
+    out = np.full(node_count, executions + 1, dtype=np.int64)
+    for event in faultload.events:
+        k = int(round((event.time - fds_start - 0.6 * phi) / phi)) + 1
+        out[int(event.node_id)] = k
+    return out
+
+
+def _score_properties(
+    engine: ArrayRoundEngine,
+    crash_exec: np.ndarray,
+    executions: int,
+) -> Tuple[PropertyReport, Tuple[NodeId, ...], Tuple[NodeId, ...]]:
+    """Numpy translation of :func:`repro.metrics.properties.evaluate_properties`.
+
+    Observers are the operational clustered nodes (the lattice clusters
+    everyone); a node is operational at the horizon iff its first dead
+    execution lies beyond the run.  Accuracy pairs come out sorted by
+    (suspector, suspected), matching the event-side scorer.
+    """
+    op_mask = crash_exec > executions
+    op_ids = np.flatnonzero(op_mask)
+    crashed_ids = np.flatnonzero(~op_mask)
+    known = engine.known
+    t_ids = np.asarray(engine.t_ids, dtype=np.int64)
+
+    completeness: Dict[NodeId, float] = {}
+    incomplete: List[NodeId] = []
+    for v in crashed_ids:
+        col = engine.t_col.get(int(v))
+        if col is None:
+            frac = 0.0 if op_ids.size else 1.0
+        elif op_ids.size:
+            frac = float(known[op_ids, col].sum()) / float(op_ids.size)
+        else:
+            frac = 1.0
+        completeness[NodeId(int(v))] = frac
+        if frac < 1.0:
+            incomplete.append(NodeId(int(v)))
+
+    violations: List[Tuple[NodeId, NodeId]] = []
+    if t_ids.size and op_ids.size:
+        op_cols = np.flatnonzero(op_mask[t_ids])
+        if op_cols.size:
+            sub = known[np.ix_(op_ids, op_cols)]
+            rows, cols = np.nonzero(sub)
+            sus = t_ids[op_cols][cols]
+            order = np.lexsort((sus, op_ids[rows]))
+            violations = [
+                (NodeId(int(op_ids[rows[i]])), NodeId(int(sus[i])))
+                for i in order
+            ]
+
+    report = PropertyReport(
+        completeness=completeness,
+        accuracy_violations=tuple(violations),
+        incomplete_failures=tuple(incomplete),
+        operational_count=int(op_ids.size),
+        crashed_count=int(crashed_ids.size),
+    )
+    operational = tuple(NodeId(int(n)) for n in op_ids)
+    crashed = tuple(NodeId(int(n)) for n in crashed_ids)
+    return report, operational, crashed
+
+
+def run_array_scenario(
+    config,
+    tracer: Optional[Tracer] = None,
+    profiler: Optional[PhaseProfiler] = None,
+) -> ArrayScenarioResult:
+    """Run one scenario through the round-level array engine.
+
+    Accepts the same :class:`~repro.experiments.runner.ScenarioConfig`
+    as the event path (callers normally go through
+    ``run_scenario(config)`` with ``engine="array"``).
+    """
+    if config.formation != "oracle":
+        raise ExperimentError(
+            "the array engine requires formation='oracle' (the distributed "
+            "formation protocol is event-level; use engine='event')"
+        )
+    if config.track_energy:
+        raise ExperimentError(
+            "the array engine does not model per-message energy; use "
+            "engine='event' for track_energy runs"
+        )
+
+    rngs = RngFactory(config.seed)
+    if tracer is None:
+        tracer = RecordingTracer()
+
+    t0 = _time.perf_counter()
+    layout = build_array_layout(
+        cluster_count=config.cluster_count,
+        members_per_cluster=config.members_per_cluster,
+        radius=config.transmission_range,
+        rng=rngs.stream("placement"),
+        spacing_factor=config.spacing_factor,
+        deputy_count=config.fds.deputy_count,
+        max_backups=(
+            config.max_backups if config.max_backups is not None else 2
+        ),
+        keep_pair_dist=(config.loss_kind == "distance"),
+    )
+    if profiler is not None:
+        profiler.add_seconds(PHASE_ARRAY_LAYOUT, _time.perf_counter() - t0)
+
+    loss = ArrayLossDraw(
+        config.loss_kind,
+        config.loss_params,
+        loss_probability=config.loss_probability,
+        transmission_range=config.transmission_range,
+        rng=rngs.stream("array", "loss"),
+    )
+
+    fds_start = 0.0
+    # Same candidate order and stream as the event path: operational
+    # node IDs ascending, heads excluded -- in the lattice that is every
+    # member NID.
+    candidates = tuple(
+        NodeId(int(n))
+        for n in range(config.cluster_count, layout.node_count)
+    )
+    last_exec = max(1, config.executions - 2)
+    faultload = make_random_crashes(
+        candidates,
+        config.crash_count,
+        config.fds,
+        rngs.stream("faultload"),
+        fds_start=fds_start,
+        first_execution=1,
+        last_execution=last_exec,
+    )
+    crash_times = {e.node_id: e.time for e in faultload.events}
+    crash_exec = _crash_executions(
+        faultload, layout.node_count, config.executions,
+        config.fds.phi, fds_start,
+    )
+
+    if tracer.enabled:
+        tracer.record(
+            0.0,
+            META_KIND,
+            phi=config.fds.phi,
+            thop=config.fds.thop,
+            nodes=layout.node_count,
+            seed=config.seed,
+            executions=config.executions,
+            fds_start=fds_start,
+        )
+        # Crash ground truth, as the event engine's node runtime emits
+        # it -- the spool must stay self-describing (``repro trace
+        # latency`` recovers crash times from ``sim.crash`` alone).
+        for event in faultload.events:
+            tracer.record(event.time, "sim.crash", node=int(event.node_id))
+
+    engine = ArrayRoundEngine(
+        layout,
+        config.fds,
+        loss,
+        tracer,
+        crash_exec,
+        fds_start=fds_start,
+        profiler=profiler,
+    )
+    t0 = _time.perf_counter()
+    for e in range(config.executions):
+        engine.run_execution(e)
+    if profiler is not None:
+        profiler.add_seconds(
+            PHASE_ARRAY_ROUNDS, _time.perf_counter() - t0,
+            calls=config.executions,
+        )
+
+    # The event scheduler parks the clock at the tail of the last
+    # execution window; mirror it so latency/accuracy horizons agree.
+    horizon = fds_start + (config.executions - 1) * config.fds.phi
+    horizon += 0.95 * config.fds.phi
+
+    t0 = _time.perf_counter()
+    report, operational, crashed = _score_properties(
+        engine, crash_exec, config.executions
+    )
+    if profiler is not None:
+        profiler.add_seconds(PHASE_ARRAY_SCORE, _time.perf_counter() - t0)
+
+    messages = MessageCounts(
+        transmissions=engine.transmissions,
+        deliveries=loss.delivered_count,
+        losses=loss.attempted - loss.delivered_count,
+        peer_requests=engine.peer_requests,
+        peer_forwards=engine.peer_forwards,
+        peer_recoveries=engine.peer_recoveries,
+        reports_sent=engine.reports_sent,
+        report_retransmissions=engine.report_retransmissions,
+        bgw_activations=engine.bgw_activations,
+        origin_retransmissions=0,
+    )
+
+    if profiler is not None and profiler.enabled and tracer.enabled:
+        for phase, seconds, _share, calls in profiler.shares():
+            tracer.record(
+                horizon, PROFILE_KIND, phase=phase, seconds=seconds,
+                calls=calls,
+            )
+
+    return ArrayScenarioResult(
+        config=config,
+        network=_ArrayNetworkFacade(horizon, operational, crashed),
+        layout=_ArrayLayoutFacade(layout.cluster_count, layout.node_count),
+        array_layout=layout,
+        faultload=faultload,
+        properties=report,
+        messages=messages,
+        tracer=tracer,
+        crash_times=crash_times,
+    )

@@ -1,0 +1,273 @@
+"""Array engine vs event engine: layout and verdict equivalence, edges.
+
+The round-level numpy engine (``repro.sim.array_engine``) must agree
+with the discrete-event reference wherever the two are comparable:
+
+- the vectorized field construction reproduces ``build_clusters`` on the
+  ``multi_cluster_field`` lattice exactly (positions, membership,
+  deputies, gateway ladders);
+- under lossless channels (``perfect`` loss, or Bernoulli p=0) the
+  verdict traces are bit-identical;
+- under loss the loss-independent anchors hold (crashed-target
+  detection latency, guaranteed completeness, the accuracy oracle).
+
+What is deliberately *not* compared: raw Bernoulli-loss completeness,
+transmission counts, and transport-level trace records -- those depend
+on which copies each engine's private loss stream drops (see
+``repro.audit.differential.array_engine_violations``).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.audit.differential import (
+    ScenarioSpec,
+    array_engine_violations,
+    verdict_records,
+)
+from repro.cluster.geometric import build_clusters
+from repro.errors import ExperimentError
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.sim.array_engine import run_array_scenario
+from repro.sim.array_engine.layout import PAD, build_array_layout
+from repro.topology.generators import multi_cluster_field
+from repro.topology.graph import UnitDiskGraph
+from repro.util.rng import RngFactory
+
+RADIUS = 100.0
+
+
+def _config(**overrides) -> ScenarioConfig:
+    base = dict(
+        cluster_count=4,
+        members_per_cluster=10,
+        loss_probability=0.0,
+        crash_count=2,
+        executions=4,
+        seed=3,
+    )
+    base.update(overrides)
+    return ScenarioConfig(**base)
+
+
+def _real(row: np.ndarray) -> list:
+    """The non-PAD entries of a padded int row, in slot order."""
+    return [int(v) for v in row if v != PAD]
+
+
+# ---------------------------------------------------------------------------
+# Layout: the vectorized construction vs the real clustering pipeline.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 5, 11])
+@pytest.mark.parametrize("spacing_factor", [1.6, 1.25])
+def test_layout_matches_oracle(seed, spacing_factor):
+    cluster_count, members = 6, 12
+    positions = multi_cluster_field(
+        cluster_count=cluster_count,
+        members_per_cluster=members,
+        radius=RADIUS,
+        rng=RngFactory(seed).stream("placement"),
+        spacing_factor=spacing_factor,
+    )
+    oracle = build_clusters(UnitDiskGraph(positions, radius=RADIUS))
+    arr = build_array_layout(
+        cluster_count,
+        members,
+        RADIUS,
+        rng=RngFactory(seed).stream("placement"),
+        spacing_factor=spacing_factor,
+    )
+
+    # Positions are bit-identical (same stream, same draw order).
+    assert arr.node_count == len(positions)
+    for nid, pos in positions.items():
+        assert arr.xs[nid] == pos.x
+        assert arr.ys[nid] == pos.y
+
+    # Cluster membership: heads are NIDs 0..C-1; every Cluster.members
+    # frozenset (head included) equals the head + the padded member row.
+    assert sorted(oracle.clusters) == list(range(cluster_count))
+    assert not oracle.unclustered
+    for head, cluster in oracle.clusters.items():
+        row = _real(arr.members[head])
+        assert cluster.members == frozenset([head, *row])
+        assert row == sorted(row)  # slots are NID-ascending
+        for nid in row:
+            assert arr.assign[nid] == head
+        # Deputy ladder: same nodes, same rank order.
+        assert tuple(_real(arr.deputies[head])) == cluster.deputies
+
+    # Boundaries: same ordered (owner, peer) pairs, same GW + BGW ladder.
+    array_pairs = {
+        (int(o), int(p)): _real(slots)
+        for o, p, slots in zip(
+            arr.boundary_owner, arr.boundary_peer, arr.boundary_gateway_slots
+        )
+    }
+    assert set(array_pairs) == set(oracle.boundaries)
+    for (owner, peer), boundary in oracle.boundaries.items():
+        ladder = [int(arr.members[owner][s]) for s in array_pairs[(owner, peer)]]
+        assert tuple(ladder) == boundary.all_forwarders
+
+
+# ---------------------------------------------------------------------------
+# Verdict equivalence under lossless channels.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+def test_lossless_runs_are_verdict_identical(seed):
+    """p=0 consumes no loss randomness: both engines must emit the same
+    verdict records at the same times with the same details."""
+    config = _config(seed=seed, loss_probability=0.0)
+    event = run_scenario(config)
+    array = run_scenario(replace(config, engine="array"))
+    assert verdict_records(event.tracer) == verdict_records(array.tracer)
+    assert event.detection_latencies == array.detection_latencies
+    # Lossless runs are fully deterministic, so the per-observer
+    # completeness maps must match exactly (seed 7 crashes happen to kill
+    # gateway ladders, leaving completeness < 1 -- in both engines alike).
+    assert event.properties.completeness == array.properties.completeness
+    assert (
+        event.properties.accuracy_violations
+        == array.properties.accuracy_violations
+        == ()
+    )
+    assert event.summary()["mean_detection_latency"] == (
+        array.summary()["mean_detection_latency"]
+    )
+
+
+def test_perfect_loss_kind_is_verdict_identical():
+    config = _config(loss_kind="perfect", loss_probability=0.3, seed=9)
+    event = run_scenario(config)
+    array = run_scenario(replace(config, engine="array"))
+    assert verdict_records(event.tracer) == verdict_records(array.tracer)
+
+
+@pytest.mark.parametrize("seed", [2, 13])
+def test_lossy_anchors_hold(seed):
+    """Under Bernoulli loss the engines draw from private streams, so only
+    the loss-independent anchors are compared -- exactly the soak pair."""
+    spec = ScenarioSpec(
+        seed=seed,
+        cluster_count=4,
+        members_per_cluster=10,
+        crash_count=2,
+        executions=4,
+        loss_kind="bernoulli",
+        loss_p=0.2,
+    )
+    event = run_scenario(spec.to_config())
+    assert array_engine_violations(spec, event) == []
+
+
+def test_bounded_loss_guaranteed_completeness():
+    """Bounded adversarial loss within the retry budget: both engines must
+    deliver completeness 1.0 (the paper's guarantee), checked via the
+    differential pair."""
+    spec = ScenarioSpec(
+        seed=4,
+        cluster_count=4,
+        members_per_cluster=8,
+        crash_count=2,
+        executions=4,
+        loss_kind="bounded",
+        loss_budget=1,
+    )
+    event = run_scenario(spec.to_config())
+    assert event.properties.mean_completeness == 1.0
+    assert array_engine_violations(spec, event) == []
+
+
+# ---------------------------------------------------------------------------
+# Edge cases.
+# ---------------------------------------------------------------------------
+
+
+def test_total_loss_detects_everyone_learns_nothing():
+    """p=1 drops every message: each CH falsely detects all its members
+    (no heartbeats arrive) but no verdict ever crosses a cluster, so
+    observer completeness collapses."""
+    config = _config(loss_probability=1.0, crash_count=2, engine="array")
+    result = run_scenario(config)
+    assert result.properties.mean_completeness < 0.1
+    # Every crashed member is still detected by its own CH on time.
+    for target, latency in result.detection_latencies.items():
+        assert latency is not None
+    assert result.messages.deliveries == 0
+
+
+def test_no_crashes_is_quiet():
+    config = _config(crash_count=0, loss_probability=0.0)
+    event = run_scenario(config)
+    array = run_scenario(replace(config, engine="array"))
+    assert verdict_records(event.tracer) == verdict_records(array.tracer) == []
+    assert array.properties.mean_completeness == 1.0
+    assert array.properties.accuracy_violations == ()
+    assert array.crash_times == {}
+
+
+def test_whole_cluster_crashed():
+    """Crash count equal to the entire member population: every cluster
+    empties out and only heads survive.  With all gateways dead no news
+    can cross a boundary, so completeness stalls below 1.0 -- and both
+    engines must agree on exactly how far each verdict spread."""
+    config = _config(
+        cluster_count=3,
+        members_per_cluster=4,
+        crash_count=12,
+        executions=6,
+        loss_probability=0.0,
+    )
+    event = run_scenario(config)
+    array = run_scenario(replace(config, engine="array"))
+    assert len(array.crash_times) == 12
+    assert verdict_records(event.tracer) == verdict_records(array.tracer)
+    assert event.properties.completeness == array.properties.completeness
+    assert array.properties.mean_completeness < 1.0
+    assert set(array.network.operational_ids()) == {0, 1, 2}
+
+
+def test_distance_loss_runs():
+    config = _config(
+        loss_kind="distance",
+        loss_probability=0.3,
+        seed=6,
+        engine="array",
+    )
+    result = run_scenario(config)
+    assert 0.0 <= result.properties.mean_completeness <= 1.0
+    assert result.messages.deliveries > 0
+
+
+# ---------------------------------------------------------------------------
+# Guard rails: unsupported features fail loudly, not silently wrong.
+# ---------------------------------------------------------------------------
+
+
+def test_gilbert_loss_rejected():
+    config = _config(loss_kind="gilbert", engine="array")
+    with pytest.raises(ExperimentError, match="gilbert"):
+        run_scenario(config)
+
+
+def test_protocol_formation_rejected():
+    config = _config(formation="protocol", engine="array")
+    with pytest.raises(ExperimentError, match="formation"):
+        run_array_scenario(config)
+
+
+def test_track_energy_rejected():
+    config = _config(track_energy=True, engine="array")
+    with pytest.raises(ExperimentError, match="energy"):
+        run_array_scenario(config)
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ExperimentError, match="engine"):
+        _config(engine="quantum")
