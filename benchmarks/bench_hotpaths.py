@@ -22,6 +22,10 @@ performance trajectory is trackable across PRs.  Three benches:
   the smallest size for the speedup pair.  The recorded
   ``speedup_floor`` is the CI regression gate: a run whose measured
   speedup falls below it fails the workflow.
+- **array_round_gilbert** -- the same event/array pair at the smallest
+  size, but under Gilbert-Elliott loss with the energy ledger on.  The
+  stateful chains and batched charges are the costliest array paths, so
+  they carry their own (lower) ``speedup_floor`` gate.
 - **obs_overhead** -- an end-to-end scenario with observability off
   (NULL_PROFILER + NullTracer, the default) vs. fully on (PhaseProfiler
   + SpoolingTracer to gzip).  The disabled ratio is the instrumentation
@@ -69,6 +73,13 @@ WORKER_COUNTS = (1, 2, 4)
 #: Measured ~260x on the reference container; the floor is deliberately
 #: far below that so only a real regression (not machine noise) trips it.
 ARRAY_ROUND_SPEEDUP_FLOOR = 25.0
+
+#: Same gate for the stateful configuration: Gilbert-Elliott loss chains
+#: plus the per-node energy ledger.  The chains force sequential
+#: attempt-ladder draws and the ledger adds batched charge passes, both
+#: of which eat into the vectorization win; measured ~300x on the
+#: reference container, floored conservatively below the plain-loss gate.
+ARRAY_ROUND_GILBERT_SPEEDUP_FLOOR = 20.0
 
 
 def _dense_cluster_positions(n: int, radius: float, seed: int) -> list[Vec2]:
@@ -233,6 +244,68 @@ def bench_array_round(quick: bool) -> dict:
             pair_speedup is not None
             and pair_speedup >= ARRAY_ROUND_SPEEDUP_FLOOR
         ),
+    }
+
+
+def bench_array_round_gilbert(quick: bool) -> dict:
+    """Event vs array engine under Gilbert-Elliott loss + energy ledger.
+
+    The stateful configuration exercises the per-directed-link Markov
+    chains (sequential attempt-ladder draws) and the batched per-node
+    energy charges -- the two paths the plain ``bench_array_round``
+    bernoulli run never touches.  One pair size is enough: the point of
+    this bench is the speedup gate, not a scaling curve.
+    """
+    from dataclasses import replace
+
+    from repro.experiments.runner import run_scenario
+    from repro.sim.trace import NullTracer
+
+    clusters, members = 9, 110
+    executions = 3
+    config = ScenarioConfig(
+        cluster_count=clusters,
+        members_per_cluster=members,
+        crash_count=4,
+        executions=executions,
+        seed=1,
+        engine="array",
+        loss_kind="gilbert",
+        loss_params=(
+            ("p_good", 0.02),
+            ("p_bad", 0.8),
+            ("p_gb", 0.05),
+            ("p_bg", 0.3),
+        ),
+        track_energy=True,
+    )
+
+    def timed(cfg) -> tuple[float, object]:
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            result = run_scenario(cfg, tracer=NullTracer())
+            return time.perf_counter() - start, result
+        finally:
+            gc.enable()
+
+    array_s, array_result = timed(config)
+    event_s, _event_result = timed(replace(config, engine="event"))
+    speedup = event_s / array_s
+    energy = array_result.energy
+    return {
+        "n": clusters * (members + 1),
+        "clusters": clusters,
+        "members_per_cluster": members,
+        "executions": executions,
+        "array_s": array_s,
+        "array_us_per_round": 1e6 * array_s / executions,
+        "event_s": event_s,
+        "event_us_per_round": 1e6 * event_s / executions,
+        "energy_spread": energy.spread() if energy is not None else None,
+        "speedup": speedup,
+        "speedup_floor": ARRAY_ROUND_GILBERT_SPEEDUP_FLOOR,
+        "meets_floor": speedup >= ARRAY_ROUND_GILBERT_SPEEDUP_FLOOR,
     }
 
 
@@ -404,6 +477,20 @@ def main(argv: list[str] | None = None) -> int:
             f"{array_round['speedup_floor']}"
         )
 
+    print("array engine rounds, gilbert loss + energy ledger ...")
+    array_gilbert = bench_array_round_gilbert(args.quick)
+    print(
+        f"  N={array_gilbert['n']}: array "
+        f"{array_gilbert['array_us_per_round']:.0f} us/round, event "
+        f"{array_gilbert['event_us_per_round']:.0f} us/round "
+        f"(speedup {array_gilbert['speedup']:.0f}x)"
+    )
+    if not array_gilbert["meets_floor"]:
+        print(
+            f"  WARNING: gilbert speedup {array_gilbert['speedup']} below "
+            f"floor {array_gilbert['speedup_floor']}"
+        )
+
     print("observability overhead (off vs. profiler + gzip spool) ...")
     obs = bench_obs_overhead(args.quick)
     print(
@@ -426,6 +513,7 @@ def main(argv: list[str] | None = None) -> int:
             "mc_throughput": mc,
             "repeat_scenario": repeat,
             "array_round": array_round,
+            "array_round_gilbert": array_gilbert,
             "obs_overhead": obs,
         },
     }

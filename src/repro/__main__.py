@@ -113,6 +113,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         seed=args.seed,
         formation=args.formation,
         engine=args.engine,
+        loss_kind=args.loss_kind,
+        track_energy=args.track_energy,
     )
     tracer = None
     profiler = None
@@ -131,6 +133,13 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             tracer.close()
     for key, value in result.summary().items():
         print(f"  {key:26s} {value:.6g}")
+    energy = getattr(result, "energy", None)
+    if energy is None:
+        energy = getattr(getattr(result, "deployment", None), "energy", None)
+    if energy is not None:
+        for key, value in energy.totals().items():
+            print(f"  energy.{key:19s} {value:.6g}")
+        print(f"  energy.{'spread':19s} {energy.spread():.6g}")
     if profiler is not None and profiler.total_seconds > 0:
         print("  profiled phases:")
         for phase, seconds, share, calls in profiler.shares():
@@ -219,6 +228,14 @@ def main(argv: list[str] | None = None) -> int:
     scenario.add_argument("--seed", type=int, default=0)
     scenario.add_argument("--formation", choices=("oracle", "protocol"),
                           default="oracle")
+    scenario.add_argument("--loss-kind", dest="loss_kind", default="bernoulli",
+                          choices=("perfect", "bernoulli", "bounded",
+                                   "distance", "gilbert"),
+                          help="loss model kind (default bernoulli with p)")
+    scenario.add_argument("--track-energy", dest="track_energy",
+                          action="store_true",
+                          help="charge the per-node energy ledger and print "
+                               "its totals")
     scenario.add_argument("--engine", choices=("event", "array"),
                           default="event",
                           help="'event' = discrete-event reference; 'array' = "

@@ -94,6 +94,16 @@ class ScenarioSpec:
             return (("p", self.loss_p), ("budget", float(self.loss_budget)))
         if self.loss_kind == "bernoulli":
             return (("p", self.loss_p),)
+        if self.loss_kind == "gilbert":
+            # Bursty-channel sweep: ``loss_p`` scales the Good -> Bad
+            # entry rate, so the stationary loss rises monotonically
+            # with it while bursts stay genuinely bursty (p_bad = 0.8).
+            return (
+                ("p_good", 0.02),
+                ("p_bad", 0.8),
+                ("p_gb", self.loss_p / 5.0),
+                ("p_bg", 0.3),
+            )
         return ()
 
     def to_config(
@@ -126,7 +136,9 @@ def random_spec(rng: np.random.Generator) -> ScenarioSpec:
     the bounded-adversary loss model, under which completeness is a hard
     guarantee rather than a probabilistic one.
     """
-    loss_kind = str(rng.choice(["perfect", "bounded", "bounded", "bernoulli"]))
+    loss_kind = str(
+        rng.choice(["perfect", "bounded", "bounded", "bernoulli", "gilbert"])
+    )
     return ScenarioSpec(
         seed=int(rng.integers(0, 2**31 - 1)),
         cluster_count=int(rng.choice([2, 3, 4, 4])),
@@ -322,6 +334,19 @@ def array_engine_violations(
     counts, and transport-level trace kinds are deliberately *not*
     compared: they depend on which copies each engine's private stream
     dropped.
+
+    The loss-independent anchors above hold under every loss kind the
+    spec distribution samples, including the stateful ``gilbert``
+    chains -- each engine drives its own chains from its private stream,
+    but crashed-target latencies and guaranteed completeness do not
+    depend on the draws.
+
+    An **energy sub-pair** reruns the array engine with the ledger
+    journal on and replays every charge batch through the scalar
+    :class:`~repro.energy.model.EnergyModel`: levels, counters, totals
+    and spread must be bit-identical, and the debit population must
+    mirror the run's message accounting exactly (one transmit debit per
+    transmission, one receive debit per delivered copy).
     """
     array = run_scenario(spec.to_config(engine="array"))
     violations: List[Violation] = []
@@ -397,6 +422,86 @@ def array_engine_violations(
                     ),
                 )
             )
+
+    violations.extend(energy_ledger_violations(spec))
+    return violations
+
+
+def energy_ledger_violations(spec: ScenarioSpec) -> List[Violation]:
+    """The array energy ledger vs a scalar EnergyModel replay.
+
+    Runs the spec through the array engine with ``track_energy`` on and
+    the charge journal recording, then replays the journal debit by
+    debit through :class:`~repro.energy.model.EnergyModel`.  The two
+    must agree bit for bit (per-node levels and counters, totals,
+    spread), and the ledger's counters must mirror the run's message
+    accounting: one transmit debit per counted transmission, one
+    receive debit per delivered copy.
+    """
+    from repro.sim.array_engine import run_array_scenario
+    from repro.sim.array_engine.energy import replay_journal
+
+    config = replace(spec.to_config(engine="array"), track_energy=True)
+    result = run_array_scenario(config, record_energy_journal=True)
+    ledger = result.energy
+    model = replay_journal(ledger)
+    violations: List[Violation] = []
+
+    if ledger.totals() != model.totals() or ledger.spread() != model.spread():
+        violations.append(
+            Violation(
+                kind="differential:energy",
+                description=(
+                    "array energy ledger diverged from the scalar replay: "
+                    f"ledger {ledger.totals()} spread {ledger.spread()} != "
+                    f"model {model.totals()} spread {model.spread()}"
+                ),
+            )
+        )
+    for node in range(ledger.node_count):
+        entry = model._entry(node)
+        if (
+            entry.level != ledger.level[node]
+            or entry.tx_count != ledger.tx_count[node]
+            or entry.rx_count != ledger.rx_count[node]
+        ):
+            violations.append(
+                Violation(
+                    kind="differential:energy",
+                    description=(
+                        f"array energy ledger diverged at node {node}: "
+                        f"level {ledger.level[node]!r} tx "
+                        f"{int(ledger.tx_count[node])} rx "
+                        f"{int(ledger.rx_count[node])} != scalar "
+                        f"{entry.level!r}/{entry.tx_count}/{entry.rx_count}"
+                    ),
+                )
+            )
+            break  # one node is a repro; don't spam N findings
+
+    totals = ledger.totals()
+    if totals["tx_total"] != float(result.messages.transmissions):
+        violations.append(
+            Violation(
+                kind="differential:energy",
+                description=(
+                    "transmit debits do not mirror message accounting: "
+                    f"tx_total {totals['tx_total']} != transmissions "
+                    f"{result.messages.transmissions}"
+                ),
+            )
+        )
+    if totals["rx_total"] != float(result.messages.deliveries):
+        violations.append(
+            Violation(
+                kind="differential:energy",
+                description=(
+                    "receive debits do not mirror delivered copies: "
+                    f"rx_total {totals['rx_total']} != deliveries "
+                    f"{result.messages.deliveries}"
+                ),
+            )
+        )
     return violations
 
 

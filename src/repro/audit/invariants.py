@@ -176,7 +176,20 @@ def round_structure_applicable(config: FdsConfig) -> bool:
     When the allowance reaches ``phi`` the whole interval is legitimately
     active and the audit has no silent tail to police -- it is *not
     applicable*, which is different from a run auditing clean.
+
+    The audit also abstains from digest-free configurations with
+    inter-cluster forwarding enabled.  Without digest witnesses every
+    lost heartbeat becomes a false detection, and the resulting relay /
+    refutation-repair traffic *chains* forwarding generations (relay ->
+    fresh gateway duty -> forwarded report -> relay ...): each link in
+    the chain is individually ladder-conformant (the forwarder audit
+    still polices that), but the chain's depth is set by the cluster
+    topology and the loss realisation, not by anything in this config,
+    so no single-generation window short of ``phi`` is a sound claim
+    there.
     """
+    if config.intercluster_forwarding and not config.use_digests:
+        return False
     return round_structure_allowance(config) < config.phi
 
 
@@ -419,15 +432,23 @@ def run_audit_statuses(
             )
         )
     else:
+        if config.intercluster_forwarding and not config.use_digests:
+            note = (
+                "digest-free configuration: relay/refutation-repair "
+                "traffic legitimately chains forwarding generations "
+                "past any single-ladder window"
+            )
+        else:
+            note = (
+                f"allowance {round_structure_allowance(config):.3f} >= "
+                f"phi {config.phi:.3f}: whole interval legitimately active"
+            )
         statuses.append(
             AuditStatus(
                 audit="round-structure",
                 applicable=False,
                 findings=(),
-                note=(
-                    f"allowance {round_structure_allowance(config):.3f} >= "
-                    f"phi {config.phi:.3f}: whole interval legitimately active"
-                ),
+                note=note,
             )
         )
     return statuses

@@ -700,10 +700,23 @@ class FdsProtocol(Protocol):
             incoming = frozenset(report.failures)
             if self.config.include_history:
                 incoming |= report.history
+            # Direct liveness evidence beats hearsay: a heartbeat heard
+            # this execution proves the node outlived whatever stale
+            # observation the forwarded report (or its piggybacked
+            # history) carries.  Without this filter a CH that just
+            # refuted a false detection re-adopts the suspicion from a
+            # still-circulating report, re-refutes on the next
+            # heartbeat, and the refutation resets boundary-forwarding
+            # budgets (BoundaryLedger.clear_failure) -- an unbounded
+            # relay/refutation cycle in digest-free configurations
+            # under heavy loss.  Real crashes are unaffected: a crashed
+            # node is silent, so it is never in ``_heard``.
             incoming = frozenset(
                 nid
                 for nid in incoming
-                if nid != my_id and nid not in report.refutations
+                if nid != my_id
+                and nid not in report.refutations
+                and nid not in self._heard
             )
             novel = self.history.add(incoming)
             self.members -= novel

@@ -18,22 +18,49 @@ Kinds:
   over the whole run, then perfect.  The budget is spent in flat draw
   order, which is deterministic because the engine's draw sequence is;
 - ``distance`` -- loss probability rising with link distance (callers
-  pass per-copy distances).
+  pass per-copy distances);
+- ``gilbert`` -- bursty loss via per-directed-link two-state Markov
+  chains (Good/Bad), the vectorized twin of
+  :class:`repro.sim.loss.GilbertElliottLoss` with the same parameter
+  names and defaults as ``build_loss_model`` (p_good, p_bad, p_gb,
+  p_bg).
 
-``gilbert`` keeps per-directed-link Markov state whose draw order is
-inherently sequential; it stays event-engine-only.
+Gilbert chain contract (engine-private, like the draw order itself):
+
+- chain state lives in named *families* of boolean arrays (True = Bad),
+  one entry per directed link the engine models: ``"mc"`` member ->
+  own-CH, ``"cm"`` own-CH -> member, ``"mm"`` member -> clustermate,
+  ``"over"`` source-CH -> gateway overhear, ``"rep"`` gateway ->
+  destination-CH report.  Draw sites that reuse a physical link reuse
+  its family entry (heartbeats, digests, updates, peer traffic, relays
+  all ride the same ``mc``/``cm``/``mm`` chains);
+- every draw advances the chain exactly once per copy, in the scalar
+  model's order: transition first (Good->Bad with ``p_gb``, Bad->Good
+  with ``p_bg``), then the loss draw in the *new* state -- two uniforms
+  per active copy;
+- only active copies advance their chain or consume the stream,
+  mirroring the event medium where absent links and crashed senders
+  produce no transmissions;
+- attempt ladders (:meth:`ArrayLossDraw.delivered` with ``chain``/
+  ``at``) advance one link's chain sequentially, once per attempt --
+  retries on a bursty link are correlated, which is the entire point of
+  the model.
+
+All chains start in the Good state, like the scalar model's fresh
+per-link dictionary.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ExperimentError
+from repro.util.validation import check_probability
 
 #: Loss kinds the array engine can batch.
-ARRAY_LOSS_KINDS = ("perfect", "bernoulli", "bounded", "distance")
+ARRAY_LOSS_KINDS = ("perfect", "bernoulli", "bounded", "distance", "gilbert")
 
 
 class ArrayLossDraw:
@@ -50,7 +77,7 @@ class ArrayLossDraw:
         if kind not in ARRAY_LOSS_KINDS:
             raise ExperimentError(
                 f"array engine supports loss kinds {ARRAY_LOSS_KINDS}, "
-                f"got {kind!r} (use engine='event' for stateful models)"
+                f"got {kind!r}"
             )
         kwargs = dict(params or {})
         self.kind = kind
@@ -61,21 +88,111 @@ class ArrayLossDraw:
         self.p_near = float(kwargs.pop("p_near", 0.02))
         self.p_far = float(kwargs.pop("p_far", 0.4))
         self.exponent = float(kwargs.pop("exponent", 2.0))
+        # Gilbert-Elliott parameters: same names and defaults as
+        # repro.sim.loss.build_loss_model's gilbert branch.
+        if kind == "gilbert":
+            self.p_good = check_probability(
+                "p_good", float(kwargs.pop("p_good", 0.01))
+            )
+            self.p_bad = check_probability(
+                "p_bad", float(kwargs.pop("p_bad", 0.8))
+            )
+            self.p_gb = check_probability(
+                "p_gb", float(kwargs.pop("p_gb", 0.05))
+            )
+            self.p_bg = check_probability(
+                "p_bg", float(kwargs.pop("p_bg", 0.3))
+            )
+            if self.p_gb + self.p_bg == 0:
+                raise ExperimentError(
+                    "p_gb + p_bg must be > 0 for an ergodic chain"
+                )
+        #: Per-family Markov state arrays, True = Bad (gilbert only).
+        self._chains: Dict[str, np.ndarray] = {}
         #: Copy accounting for :class:`~repro.metrics.collectors.MessageCounts`.
         self.attempted = 0
         self.delivered_count = 0
 
+    @property
+    def stationary_loss_rate(self) -> float:
+        """Long-run average loss probability of the gilbert chain."""
+        if self.kind != "gilbert":
+            raise ExperimentError(
+                "stationary_loss_rate is only defined for gilbert loss"
+            )
+        pi_bad = self.p_gb / (self.p_gb + self.p_bg)
+        return (1 - pi_bad) * self.p_good + pi_bad * self.p_bad
+
+    # ------------------------------------------------------------------
+    # Gilbert chain state
+    # ------------------------------------------------------------------
+    def ensure_chain(self, name: str, shape: Tuple[int, ...]) -> None:
+        """Pre-create a chain family (no-op for stateless kinds)."""
+        if self.kind == "gilbert" and name not in self._chains:
+            self._chains[name] = np.zeros(shape, dtype=bool)
+
+    def _chain_view(self, chain: Optional[str], at, shape) -> np.ndarray:
+        """The (gathered) state array for a draw site, creating lazily."""
+        if chain is None:
+            raise ExperimentError(
+                "gilbert draws require a chain family name (engine bug)"
+            )
+        state = self._chains.get(chain)
+        if state is None:
+            if at is not None:
+                raise ExperimentError(
+                    f"chain family {chain!r} indexed before creation "
+                    "(engine bug)"
+                )
+            state = np.zeros(shape, dtype=bool)
+            self._chains[chain] = state
+        return state
+
+    def _gilbert_flat(self, n: int, states: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance ``n`` link chains one step and draw their losses.
+
+        ``states`` is a flat boolean array (True = Bad) of the active
+        links; returns ``(new_states, lost)``.  Transition first, then
+        the loss draw in the new state -- the scalar model's order.
+        """
+        u = self.rng.random(n)
+        toggle = u < np.where(states, self.p_bg, self.p_gb)
+        new_states = states ^ toggle
+        u2 = self.rng.random(n)
+        lost = u2 < np.where(new_states, self.p_bad, self.p_good)
+        return new_states, lost
+
     # ------------------------------------------------------------------
     def delivered(
-        self, count: int, distances: Optional[np.ndarray] = None
+        self,
+        count: int,
+        distances: Optional[np.ndarray] = None,
+        chain: Optional[str] = None,
+        at=None,
     ) -> np.ndarray:
-        """A delivered mask for ``count`` copies (True = arrives)."""
+        """A delivered mask for ``count`` copies (True = arrives).
+
+        For ``gilbert`` the ``count`` copies are *sequential attempts on
+        one directed link* -- ``chain``/``at`` name its state cell, and
+        the chain advances once per attempt.
+        """
         if count <= 0:
             return np.zeros(0, dtype=bool)
         self.attempted += count
         if self.kind == "perfect":
             self.delivered_count += count
             return np.ones(count, dtype=bool)
+        if self.kind == "gilbert":
+            state = self._chain_view(chain, at, ())
+            cell = at if at is not None else ()
+            s = np.asarray([state[cell]])
+            out = np.empty(count, dtype=bool)
+            for i in range(count):
+                s, lost = self._gilbert_flat(1, s)
+                out[i] = not lost[0]
+            state[cell] = bool(s[0])
+            self.delivered_count += int(out.sum())
+            return out
         if self.kind == "distance":
             if distances is None:
                 raise ExperimentError(
@@ -123,13 +240,36 @@ class ArrayLossDraw:
         self,
         active: np.ndarray,
         distances: Optional[np.ndarray] = None,
+        chain: Optional[str] = None,
+        at=None,
     ) -> np.ndarray:
         """Delivered mask shaped like ``active``; False wherever inactive.
 
         Only active copies consume the stream (and, for ``bounded``, the
-        budget), mirroring the event medium where crashed senders and
-        absent links produce no transmissions at all.
+        budget; for ``gilbert``, their link's chain step), mirroring the
+        event medium where crashed senders and absent links produce no
+        transmissions at all.  ``chain`` names the gilbert state family
+        (position in ``active`` identifies the directed link); ``at``
+        optionally indexes into a larger family so a draw site can
+        address a slice of it (e.g. one cluster's CH -> member row).
         """
+        if self.kind == "gilbert":
+            out = np.zeros(active.shape, dtype=bool)
+            flat = np.flatnonzero(active)
+            if flat.size:
+                self.attempted += int(flat.size)
+                state = self._chain_view(chain, at, active.shape)
+                # Gather-copy under ``at`` (advanced indexing may not
+                # yield a writable view), mutate, scatter back.
+                gathered = state[at].copy() if at is not None else state
+                s = gathered.ravel()[flat].copy()
+                s, lost = self._gilbert_flat(int(flat.size), s)
+                gathered.ravel()[flat] = s
+                if at is not None:
+                    state[at] = gathered
+                out.ravel()[flat] = ~lost
+                self.delivered_count += int((~lost).sum())
+            return out
         out = np.zeros(active.shape, dtype=bool)
         flat = np.flatnonzero(active)
         if flat.size:

@@ -6,7 +6,7 @@ boolean-array operations over the :class:`~repro.sim.array_engine.layout.
 ArrayLayout`:
 
 1. draw the per-copy delivery masks for every R-1 heartbeat, R-2 digest
-   and R-3 update of the execution (Bernoulli masks from one dedicated
+   and R-3 update of the execution (delivery masks from one dedicated
    seeded stream);
 2. apply member-level liveness refutations (a node that hears a
    heartbeat from a node it marked failed unmarks it -- the event
@@ -32,6 +32,32 @@ collapsed, peer/inter retry ladders are modeled as ``max_forward_retries
 + 1`` independent attempts, takeovers do not switch round authority, and
 cross-cluster heartbeat overhearing is not modeled.  The trace carries
 the verdict-bearing record kinds only (detection/refutation/takeover).
+
+Draw-order contract (engine-private; the gilbert chains and the bounded
+budget depend on it, and it is what makes array runs replay bit-exactly
+from the seed): per execution, in this fixed sequence -- ``hb_mc``,
+``hb_cm``, ``hb_mm``, then with digests on ``dg_mc``, ``dg_cm``; the
+R-3 update ``upd_direct``; the peer-recovery ladder (per attempt: one
+request draw, one forward draw); the DCH witness draws ``dg_md`` per
+deputy rank; finally the inter-cluster fixpoint (channels in lexsorted
+(src, dst) order; per gateway rank: the overhear ladder for inbound
+channels, the report-attempt ladder, the relay broadcast).  Gilbert
+chain families follow the same sites: ``mc`` carries heartbeat, digest
+and peer-request copies member -> own CH; ``cm`` carries CH broadcasts
+(heartbeat, digest, update, peer forward, relay) toward each member;
+``mm`` the member-pair copies (clustermate heartbeats and the DCH's
+deputy-row witness draws); ``over``/``rep`` the per-channel gateway
+ladders.
+
+Energy (``track_energy``): an optional
+:class:`~repro.sim.array_engine.energy.ArrayEnergyLedger` charges every
+``transmissions`` increment to its sender and every delivered copy to
+its receiver, batched at the enclosing round's nominal instant (R-1 at
+the epoch, R-2 at ``+thop``, R-3 at ``+2*thop``, recovery/DCH/
+inter-cluster at ``+3*thop``), transmit debits before receive debits
+per instant.  ``tx_total`` therefore equals ``MessageCounts.
+transmissions`` and ``rx_total`` equals the delivered-copy count -- the
+invariant the soak's energy sub-pair asserts.
 """
 
 from __future__ import annotations
@@ -55,6 +81,7 @@ from repro.obs.profiler import (
     PHASE_ARRAY_SYNC,
     PhaseProfiler,
 )
+from repro.sim.array_engine.energy import ArrayEnergyLedger
 from repro.sim.array_engine.layout import PAD, ArrayLayout
 from repro.sim.array_engine.loss import ArrayLossDraw
 from repro.sim.trace import Tracer
@@ -72,12 +99,14 @@ class ArrayRoundEngine:
         crash_exec: np.ndarray,
         fds_start: float = 0.0,
         profiler: Optional[PhaseProfiler] = None,
+        energy: Optional[ArrayEnergyLedger] = None,
     ) -> None:
         self.layout = layout
         self.fds = fds
         self.loss = loss
         self.tracer = tracer
         self.profiler = profiler
+        self.energy = energy
         self.fds_start = float(fds_start)
         #: First execution index during which each node is crashed
         #: (``executions`` + 1 for nodes that never crash).
@@ -164,6 +193,30 @@ class ArrayRoundEngine:
             self.ch_report_dist = np.zeros((0, 1), dtype=np.float64)
             self.ch_overhear_dist = np.zeros((0, 1), dtype=np.float64)
 
+        # The per-channel gateway ladders address chain cells by (b, g)
+        # before any full-family draw would create them, so pre-create
+        # their gilbert families (no-op for stateless loss kinds).
+        self.loss.ensure_chain("over", self.ch_overhear_dist.shape)
+        self.loss.ensure_chain("rep", self.ch_report_dist.shape)
+
+        #: Post-R-3 energy accumulation buffers (filled by the recovery,
+        #: DCH and intercluster phases, flushed at ``t_r3end``).
+        self._e_tx: Optional[np.ndarray] = None
+        self._e_rx: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Energy accounting helpers
+    # ------------------------------------------------------------------
+    def _node_counts(self) -> np.ndarray:
+        return np.zeros(self.layout.node_count, dtype=np.int64)
+
+    def _scatter_member_counts(
+        self, counts_cm: np.ndarray, out: np.ndarray
+    ) -> None:
+        """Add per-slot member counts (C, M) into a per-node array."""
+        mask = self.layout.member_mask
+        out[self.layout.members[mask]] += counts_cm[mask]
+
     # ------------------------------------------------------------------
     # Target bookkeeping
     # ------------------------------------------------------------------
@@ -243,19 +296,37 @@ class ArrayRoundEngine:
         t0 = tick()
         hd = layout.head_dist
         pd = layout.pair_dist
-        hb_mc = loss.draw_into(alive_m, hd)  # member -> own CH
-        hb_cm = loss.draw_into(alive_m, hd)  # CH broadcast -> member
+        hb_mc = loss.draw_into(alive_m, hd, chain="mc")  # member -> own CH
+        hb_cm = loss.draw_into(alive_m, hd, chain="cm")  # CH broadcast -> member
         mm_active = layout.adjacency & alive_m[:, None, :] & alive_m[:, :, None]
-        hb_mm = loss.draw_into(mm_active, pd)  # [c, hearer u, sender v]
+        hb_mm = loss.draw_into(mm_active, pd, chain="mm")  # [c, hearer u, sender v]
         if use_digests:
-            dg_mc = loss.draw_into(alive_m, hd)  # member digest -> CH
-            dg_cm = loss.draw_into(alive_m, hd)  # CH digest -> member
+            dg_mc = loss.draw_into(alive_m, hd, chain="mc")  # member digest -> CH
+            dg_cm = loss.draw_into(alive_m, hd, chain="cm")  # CH digest -> member
         else:
             dg_mc = np.zeros((self.C, self.M), dtype=bool)
             dg_cm = np.zeros((self.C, self.M), dtype=bool)
         self.transmissions += int(alive_m.sum()) + self.C  # R-1 broadcasts
         if use_digests:
             self.transmissions += int(alive_m.sum()) + self.C
+        energy = self.energy
+        if energy is not None:
+            tx = self._node_counts()
+            tx[: self.C] += 1
+            self._scatter_member_counts(alive_m.astype(np.int64), tx)
+            energy.charge_tx(epoch, tx)
+            rx = self._node_counts()
+            rx[: self.C] += hb_mc.sum(axis=1)
+            self._scatter_member_counts(
+                hb_cm.astype(np.int64) + hb_mm.sum(axis=2), rx
+            )
+            energy.charge_rx(epoch, rx)
+            if use_digests:
+                energy.charge_tx(epoch + fds.thop, tx)  # same sender set
+                rx = self._node_counts()
+                rx[: self.C] += dg_mc.sum(axis=1)
+                self._scatter_member_counts(dg_cm.astype(np.int64), rx)
+                energy.charge_rx(epoch + fds.thop, rx)
         if prof is not None:
             prof.add_seconds(PHASE_ARRAY_DRAWS, tick() - t0)
 
@@ -279,8 +350,20 @@ class ArrayRoundEngine:
         # -- R-3 update broadcast + peer-forwarding ladder
         t0 = tick()
         refuted_exec = self._refuted_this_exec
-        upd_direct = loss.draw_into(alive_m, hd)
+        upd_direct = loss.draw_into(alive_m, hd, chain="cm")
         self.transmissions += self.C
+        if energy is not None:
+            tx = self._node_counts()
+            tx[: self.C] += 1
+            energy.charge_tx(t_r3, tx)
+            rx = self._node_counts()
+            self._scatter_member_counts(upd_direct.astype(np.int64), rx)
+            energy.charge_rx(t_r3, rx)
+            # Everything after R-3 (peer ladder, DCH digests, the
+            # intercluster fixpoint) is charged in one tx-then-rx batch
+            # at t_r3end; the phases below accumulate into these.
+            self._e_tx = self._node_counts()
+            self._e_rx = self._node_counts()
         got_update = upd_direct.copy()
         if fds.peer_forwarding:
             got_update |= self._peer_recovery(alive_m, upd_direct, hd)
@@ -302,6 +385,12 @@ class ArrayRoundEngine:
             self._intercluster(alive, alive_m, hd)
             if prof is not None:
                 prof.add_seconds(PHASE_ARRAY_INTERCLUSTER, tick() - t0)
+
+        if energy is not None:
+            energy.charge_tx(t_r3end, self._e_tx)
+            energy.charge_rx(t_r3end, self._e_rx)
+            self._e_tx = None
+            self._e_rx = None
 
         self._clear_self_columns()
 
@@ -444,11 +533,16 @@ class ArrayRoundEngine:
                 break
             self.peer_requests += int(pending.sum())
             self.transmissions += int(pending.sum())
-            req = self.loss.draw_into(pending, hd)
+            req = self.loss.draw_into(pending, hd, chain="mc")
             self.peer_forwards += int(req.sum())
             self.transmissions += int(req.sum())
-            fwd = self.loss.draw_into(req, hd)
+            fwd = self.loss.draw_into(req, hd, chain="cm")
             ok = req & fwd
+            if self._e_tx is not None:
+                self._scatter_member_counts(pending.astype(np.int64), self._e_tx)
+                self._e_tx[: self.C] += req.sum(axis=1)
+                self._e_rx[: self.C] += req.sum(axis=1)
+                self._scatter_member_counts(ok.astype(np.int64), self._e_rx)
             recovered |= ok
             pending &= ~ok
         self.peer_recoveries += int(recovered.sum())
@@ -539,8 +633,16 @@ class ArrayRoundEngine:
                 md_active = (
                     dep_adj & alive_m & acting[:, None]
                 )
-                dg_md = self.loss.draw_into(md_active, layout.head_dist)
+                dg_md = self.loss.draw_into(
+                    md_active, layout.head_dist,
+                    chain="mm", at=(rows, safe_slot),
+                )
                 witness_head = (dg_md & hb_cm).any(axis=1)
+                if self._e_rx is not None:
+                    dep_ids = np.where(ok, dep, 0)
+                    self._e_rx[dep_ids] += np.where(
+                        ok, dg_md.sum(axis=1), 0
+                    )
             else:
                 dg_at_dep = np.zeros(self.C, dtype=bool)
                 witness_head = np.zeros(self.C, dtype=bool)
@@ -636,7 +738,11 @@ class ArrayRoundEngine:
                 over = loss.delivered(
                     attempts,
                     distances=np.full(attempts, self.ch_overhear_dist[b, g]),
+                    chain="over",
+                    at=(b, g),
                 )
+                if self._e_rx is not None:
+                    self._e_rx[gid] += int(over.sum())
                 if not over.any():
                     continue  # never overheard the source CH; next BGW
             if g > 0:
@@ -644,16 +750,24 @@ class ArrayRoundEngine:
             rep = loss.delivered(
                 attempts,
                 distances=np.full(attempts, self.ch_report_dist[b, g]),
+                chain="rep",
+                at=(b, g),
             )
             self.reports_sent += 1
             self.report_retransmissions += attempts - 1
             self.transmissions += attempts
+            if self._e_tx is not None:
+                self._e_tx[gid] += attempts
+                self._e_rx[dst] += int(rep.sum())
             if not rep.any():
                 continue  # report ladder exhausted; next BGW takes over
             self.known[dst] |= news
-            rel = loss.draw_into(alive_m[dst], hd[dst])
+            rel = loss.draw_into(alive_m[dst], hd[dst], chain="cm", at=dst)
             self.transmissions += 1
             rec_ids = layout.members[dst][rel & layout.member_mask[dst]]
+            if self._e_tx is not None:
+                self._e_tx[dst] += 1
+                self._e_rx[rec_ids] += 1
             if rec_ids.size:
                 self.known[rec_ids] |= news[None, :]
             return True

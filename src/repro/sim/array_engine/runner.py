@@ -12,9 +12,12 @@ topology and ground truth match bit-for-bit across engines; only the
 per-copy loss draws come from the engine-private ``stream("array",
 "loss")``.
 
-Engine restrictions (checked up front, raising
-:class:`~repro.errors.ExperimentError`): oracle formation only, no
-energy tracking, and no stateful loss models (``gilbert``).
+Engine restriction (checked up front, raising
+:class:`~repro.errors.ExperimentError`): oracle formation only -- the
+distributed formation protocol is event-level.  Every loss kind
+(including the stateful ``gilbert`` chains, see
+:mod:`repro.sim.array_engine.loss`) and energy tracking (see
+:mod:`repro.sim.array_engine.energy`) run vectorized.
 """
 
 from __future__ import annotations
@@ -37,6 +40,8 @@ from repro.obs.profiler import (
     PHASE_ARRAY_SCORE,
     PhaseProfiler,
 )
+from repro.energy.model import EnergyConfig
+from repro.sim.array_engine.energy import ArrayEnergyLedger
 from repro.sim.array_engine.layout import ArrayLayout, build_array_layout
 from repro.sim.array_engine.loss import ArrayLossDraw
 from repro.sim.array_engine.rounds import ArrayRoundEngine
@@ -106,6 +111,10 @@ class ArrayScenarioResult:
     messages: MessageCounts
     tracer: Tracer
     crash_times: Dict[NodeId, SimTime]
+    #: Per-node energy ledger (populated iff ``config.track_energy``);
+    #: exposes the event engine's scoring surface (``totals()``,
+    #: ``spread()``, ``remaining_fraction()``).
+    energy: Optional[ArrayEnergyLedger] = None
 
     @property
     def detection_latencies(self) -> Dict[NodeId, Optional[SimTime]]:
@@ -214,6 +223,7 @@ def run_array_scenario(
     config,
     tracer: Optional[Tracer] = None,
     profiler: Optional[PhaseProfiler] = None,
+    record_energy_journal: bool = False,
 ) -> ArrayScenarioResult:
     """Run one scenario through the round-level array engine.
 
@@ -225,11 +235,6 @@ def run_array_scenario(
         raise ExperimentError(
             "the array engine requires formation='oracle' (the distributed "
             "formation protocol is event-level; use engine='event')"
-        )
-    if config.track_energy:
-        raise ExperimentError(
-            "the array engine does not model per-message energy; use "
-            "engine='event' for track_energy runs"
         )
 
     rngs = RngFactory(config.seed)
@@ -301,6 +306,16 @@ def run_array_scenario(
         for event in faultload.events:
             tracer.record(event.time, "sim.crash", node=int(event.node_id))
 
+    energy = (
+        ArrayEnergyLedger(
+            layout.node_count,
+            EnergyConfig(),
+            start=fds_start,
+            record_journal=record_energy_journal,
+        )
+        if config.track_energy
+        else None
+    )
     engine = ArrayRoundEngine(
         layout,
         config.fds,
@@ -309,6 +324,7 @@ def run_array_scenario(
         crash_exec,
         fds_start=fds_start,
         profiler=profiler,
+        energy=energy,
     )
     t0 = _time.perf_counter()
     for e in range(config.executions):
@@ -361,4 +377,5 @@ def run_array_scenario(
         messages=messages,
         tracer=tracer,
         crash_times=crash_times,
+        energy=energy,
     )

@@ -8,8 +8,12 @@ with the discrete-event reference wherever the two are comparable:
   deputies, gateway ladders);
 - under lossless channels (``perfect`` loss, or Bernoulli p=0) the
   verdict traces are bit-identical;
-- under loss the loss-independent anchors hold (crashed-target
-  detection latency, guaranteed completeness, the accuracy oracle).
+- under loss -- including the stateful Gilbert-Elliott chains -- the
+  loss-independent anchors hold (crashed-target detection latency,
+  guaranteed completeness, the accuracy oracle);
+- with ``track_energy`` the batched ledger is bit-identical to a scalar
+  :class:`~repro.energy.model.EnergyModel` replay of its charge journal,
+  and its counters mirror the run's message accounting exactly.
 
 What is deliberately *not* compared: raw Bernoulli-loss completeness,
 transmission counts, and transport-level trace records -- those depend
@@ -246,25 +250,175 @@ def test_distance_loss_runs():
 
 
 # ---------------------------------------------------------------------------
-# Guard rails: unsupported features fail loudly, not silently wrong.
+# Gilbert-Elliott loss: the stateful chains, vectorized.
 # ---------------------------------------------------------------------------
 
 
-def test_gilbert_loss_rejected():
+def test_gilbert_array_run_accepted():
     config = _config(loss_kind="gilbert", engine="array")
-    with pytest.raises(ExperimentError, match="gilbert"):
-        run_scenario(config)
+    result = run_scenario(config)
+    assert result.messages.deliveries > 0
+    assert 0.0 <= result.properties.mean_completeness <= 1.0
+    # Every crashed member is still detected by its own CH on time.
+    for latency in result.detection_latencies.values():
+        assert latency is not None
+
+
+def test_gilbert_anchors_hold_at_972_nodes():
+    """The soak pair under bursty loss at the paper's mid-scale field:
+    12 clusters x (80 members + head) = 972 nodes.  The engines drive
+    their chains from private streams, so only the loss-independent
+    anchors are compared -- plus the energy ledger sub-pair."""
+    spec = ScenarioSpec(
+        seed=17,
+        cluster_count=12,
+        members_per_cluster=80,
+        crash_count=2,
+        executions=3,
+        loss_kind="gilbert",
+        loss_p=0.15,
+    )
+    event = run_scenario(spec.to_config())
+    assert array_engine_violations(spec, event) == []
+
+
+def test_gilbert_never_leaves_good_is_lossless():
+    """Degenerate chain: p_gb=0 pins every link in Good and p_good=0
+    loses nothing, so both engines must be verdict-bit-identical even
+    though each consumed its private stream for the draws."""
+    params = (("p_good", 0.0), ("p_bad", 1.0), ("p_gb", 0.0), ("p_bg", 1.0))
+    config = _config(loss_kind="gilbert", loss_params=params, seed=11)
+    event = run_scenario(config)
+    array = run_scenario(replace(config, engine="array"))
+    assert verdict_records(event.tracer) == verdict_records(array.tracer)
+    assert event.detection_latencies == array.detection_latencies
+    assert array.messages.losses == 0
+
+
+def test_gilbert_always_bad_drops_everything():
+    """Degenerate chain: p_gb=1 enters Bad before the first draw (the
+    transition precedes the loss draw) and p_bad=1 with p_bg=0 keeps
+    every copy lost -- total blackout, like Bernoulli p=1."""
+    params = (("p_good", 0.0), ("p_bad", 1.0), ("p_gb", 1.0), ("p_bg", 0.0))
+    config = _config(loss_kind="gilbert", loss_params=params, engine="array")
+    result = run_scenario(config)
+    assert result.messages.deliveries == 0
+    assert result.properties.mean_completeness < 0.1
+    for latency in result.detection_latencies.values():
+        assert latency is not None  # own-CH detections need no messages
+
+
+def test_gilbert_single_link_ladder_matches_scalar_reference():
+    """Sequential single-copy draws on one chain cell consume the stream
+    exactly like the scalar model (transition uniform, then loss uniform
+    in the new state), so seeding both identically must reproduce the
+    same delivered sequence -- correlated bursts included."""
+    from repro.sim.array_engine.loss import ArrayLossDraw
+    from repro.sim.loss import GilbertElliottLoss
+
+    params = dict(p_good=0.05, p_bad=0.9, p_gb=0.3, p_bg=0.25)
+    array = ArrayLossDraw(
+        "gilbert", tuple(params.items()),
+        loss_probability=0.0, transmission_range=100.0,
+        rng=np.random.default_rng(99),
+    )
+    scalar = GilbertElliottLoss(**params)
+    scalar_rng = np.random.default_rng(99)
+    got = [bool(array.delivered(1, chain="link")[0]) for _ in range(200)]
+    want = [
+        not scalar.is_lost(0, 1, 10.0, float(i), scalar_rng)
+        for i in range(200)
+    ]
+    assert got == want
+    assert any(got) and not all(got)  # the chain actually burst
+
+
+def test_gilbert_stationary_loss_rate_matches_scalar():
+    from repro.sim.array_engine.loss import ArrayLossDraw
+    from repro.sim.loss import GilbertElliottLoss
+
+    params = dict(p_good=0.02, p_bad=0.8, p_gb=0.07, p_bg=0.3)
+    array = ArrayLossDraw(
+        "gilbert", tuple(params.items()),
+        loss_probability=0.0, transmission_range=100.0,
+        rng=np.random.default_rng(0),
+    )
+    assert array.stationary_loss_rate == (
+        GilbertElliottLoss(**params).stationary_loss_rate
+    )
+
+
+def test_gilbert_non_ergodic_chain_rejected():
+    from repro.sim.array_engine.loss import ArrayLossDraw
+
+    with pytest.raises(ExperimentError, match="ergodic"):
+        ArrayLossDraw(
+            "gilbert", (("p_gb", 0.0), ("p_bg", 0.0)),
+            loss_probability=0.0, transmission_range=100.0,
+            rng=np.random.default_rng(0),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Energy: the batched ledger vs the scalar model.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("loss_kind", ["perfect", "bernoulli", "gilbert"])
+def test_array_energy_bit_identical_to_scalar_replay(loss_kind):
+    """Replaying the ledger's charge journal debit by debit through the
+    scalar EnergyModel must reproduce every level, counter, total and
+    the spread bit for bit -- under any loss kind."""
+    from repro.sim.array_engine.energy import replay_journal
+
+    config = _config(
+        loss_kind=loss_kind,
+        loss_probability=0.25,
+        track_energy=True,
+        engine="array",
+        executions=5,
+    )
+    result = run_array_scenario(config, record_energy_journal=True)
+    ledger = result.energy
+    model = replay_journal(ledger)
+    assert ledger.totals() == model.totals()
+    assert ledger.spread() == model.spread()
+    for node in range(ledger.node_count):
+        entry = model._entry(node)
+        assert entry.level == ledger.level[node]
+        assert entry.tx_count == ledger.tx_count[node]
+        assert entry.rx_count == ledger.rx_count[node]
+
+
+def test_array_energy_counts_mirror_message_accounting():
+    """One transmit debit per counted transmission, one receive debit per
+    delivered copy -- the ledger population rule, under bursty loss."""
+    config = _config(
+        loss_kind="gilbert", track_energy=True, engine="array", executions=6
+    )
+    result = run_scenario(config)
+    totals = result.energy.totals()
+    assert totals["tx_total"] == float(result.messages.transmissions)
+    assert totals["rx_total"] == float(result.messages.deliveries)
+    assert result.energy.spread() > 0.0  # heads outspend members
+    # The scoring surface behaves like the scalar model's.
+    frac = result.energy.remaining_fraction(0, result.network.sim.now)
+    assert 0.0 <= frac <= 1.0
+
+
+def test_array_energy_disabled_by_default():
+    result = run_scenario(_config(engine="array"))
+    assert result.energy is None
+
+
+# ---------------------------------------------------------------------------
+# Guard rails: unsupported features fail loudly, not silently wrong.
+# ---------------------------------------------------------------------------
 
 
 def test_protocol_formation_rejected():
     config = _config(formation="protocol", engine="array")
     with pytest.raises(ExperimentError, match="formation"):
-        run_array_scenario(config)
-
-
-def test_track_energy_rejected():
-    config = _config(track_energy=True, engine="array")
-    with pytest.raises(ExperimentError, match="energy"):
         run_array_scenario(config)
 
 

@@ -121,6 +121,36 @@ class TestViolationsCaught:
         assert not status.clean
         assert "whole interval" in status.note
 
+    def test_round_structure_abstains_for_digest_free_forwarding(self):
+        """Digest-free configurations legitimately chain forwarding
+        generations (relay -> fresh gateway duty -> forwarded report ->
+        relay), so no single-ladder window short of phi is sound and the
+        audit must abstain instead of flagging conformant cascades
+        (found by soak spec seed 1342382291)."""
+        tracer = RecordingTracer()
+        config = FdsConfig(phi=20.0, thop=0.5, use_digests=False)
+        tracer.record(18.4, "radio.tx", node=4)  # past the one-ladder window
+        assert audit_round_structure(tracer, config) == []
+        assert not round_structure_applicable(config)
+        status = next(
+            s
+            for s in run_audit_statuses(tracer, config)
+            if s.audit == "round-structure"
+        )
+        assert not status.applicable
+        assert "digest-free" in status.note
+
+    def test_round_structure_applies_without_forwarding_or_with_digests(self):
+        assert round_structure_applicable(FdsConfig(phi=20.0, thop=0.5))
+        assert round_structure_applicable(
+            FdsConfig(
+                phi=20.0,
+                thop=0.5,
+                use_digests=False,
+                intercluster_forwarding=False,
+            )
+        )
+
 
 class TestSleepRunsAuditClean:
     def test_power_managed_run(self, rng):

@@ -41,6 +41,27 @@ class TestCanonicalization:
         restored = config_from_canonical(canonical_config_dict(config))
         assert restored == config
 
+    def test_config_round_trip_array_gilbert_energy(self):
+        """The newly accepted array-engine knobs (gilbert loss params,
+        track_energy) survive canonicalization unchanged -- campaign
+        caching must key and restore them faithfully."""
+        config = ScenarioConfig(
+            cluster_count=3,
+            members_per_cluster=9,
+            engine="array",
+            track_energy=True,
+            loss_kind="gilbert",
+            loss_params=(
+                ("p_good", 0.02),
+                ("p_bad", 0.8),
+                ("p_gb", 0.05),
+                ("p_bg", 0.3),
+            ),
+        )
+        restored = config_from_canonical(canonical_config_dict(config))
+        assert restored == config
+        assert restored.track_energy and restored.engine == "array"
+
     def test_round_trip_survives_json(self):
         config = ScenarioConfig(loss_probability=0.1, spacing_factor=1.6)
         payload = json.loads(canonical_json(canonical_config_dict(config)))

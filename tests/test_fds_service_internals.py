@@ -39,6 +39,32 @@ class TestStaleFiltering:
         assert current + 7 in member.updates_received  # stored by index
         assert member.execution == current  # counters untouched
 
+    def test_report_hearsay_beaten_by_direct_liveness(self, rng):
+        """A forwarded report re-asserting a node whose heartbeat the CH
+        heard this execution is stale hearsay: adopting it would restart
+        the refutation/relay cycle (the no-digests soak finding, seed
+        1342382291).  A casualty the CH has no direct evidence about is
+        still adopted -- crashed nodes are silent, so the filter can
+        never mask a real failure."""
+        from repro.fds.messages import FailureReport
+
+        placement = cluster_disk_placement(10, 100.0, rng)
+        deployment, _layout, _tracer, _network = deploy(placement)
+        deployment.run_executions(1)
+        head = deployment.protocols[0]
+        heard = next(iter(head._heard))
+        unheard = 999  # a foreign casualty, never heard by this CH
+        head._on_report(
+            FailureReport(
+                sender=5,
+                origin=42,
+                target_head=0,
+                failures=frozenset({heard, unheard}),
+            )
+        )
+        assert unheard in head.history
+        assert heard not in head.history
+
 
 class TestEnergyCharging:
     def test_tx_and_rx_charged(self, rng):

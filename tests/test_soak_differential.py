@@ -80,6 +80,29 @@ class TestCleanStackChecksClean:
     def test_default_spec_has_no_violations(self):
         assert check_spec(ScenarioSpec(seed=7, loss_kind="bounded")) == []
 
+    def test_seed_1342382291_no_digests_pair_clean(self):
+        """Permanent regression repro: soak seed 7 at defaults sampled
+        this spec, whose digest-free ablation pair flagged
+        ``audit:round-structure`` transmissions past the active window
+        (offset 18.397 > 17.500).  Two fixes keep it clean: stale
+        hearsay in forwarded reports no longer re-poisons a CH that
+        heard the target's heartbeat, and the round-structure audit
+        abstains for digest-free forwarding configs whose conformant
+        cascades legitimately chain ladder generations."""
+        spec = ScenarioSpec(
+            seed=1342382291,
+            cluster_count=4,
+            members_per_cluster=16,
+            crash_count=2,
+            executions=7,
+            loss_kind="bernoulli",
+            loss_p=0.35,
+            loss_budget=1,
+            spacing_factor=1.25,
+            max_backups=1,
+        )
+        assert check_spec(spec, check_parallel=False) == []
+
     def test_random_specs_have_no_violations(self):
         rng = np.random.default_rng(1234)
         for _ in range(3):
