@@ -30,6 +30,13 @@ Commands
     shares, phi-unit detection-latency histogram), ``timeline``,
     ``lineage <report-id>`` (one failure report's R-1 -> R-3 ->
     inter-cluster path), ``latency``.
+``rt``
+    Real-network runtime: ``run`` (an N-node scenario over localhost
+    UDP sockets with wall-clock phi timers, socket-layer loss, and
+    fail-stop crash injection; per-node JSONL spools merge into one
+    ``repro trace``-compatible file) and ``diff`` (the
+    ``differential:realnet`` harness -- seeded specs run under sim and
+    runtime must agree on oracle verdicts and latency anchors).
 
 Exit codes: 0 success, 1 failure/usage, 2 failed campaign chunks,
 3 partial campaign (``--stop-after`` checkpoint), 130 interrupted
@@ -268,9 +275,11 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.campaign.cli import add_campaign_parser
     from repro.obs.cli import add_trace_parser
+    from repro.rt.cli import add_rt_parser
 
     add_campaign_parser(sub)
     add_trace_parser(sub)
+    add_rt_parser(sub)
 
     bench = sub.add_parser(
         "bench", help="run hot-path benchmarks; write BENCH_hotpaths.json"
@@ -297,6 +306,11 @@ def main(argv: list[str] | None = None) -> int:
 
         return cmd_trace(namespace)
 
+    def _cmd_rt(namespace: argparse.Namespace) -> int:
+        from repro.rt.cli import cmd_rt
+
+        return cmd_rt(namespace)
+
     handlers = {
         "figures": _cmd_figures,
         "claims": _cmd_claims,
@@ -307,6 +321,7 @@ def main(argv: list[str] | None = None) -> int:
         "campaign": _cmd_campaign,
         "bench": _cmd_bench,
         "trace": _cmd_trace,
+        "rt": _cmd_rt,
     }
     try:
         return handlers[args.command](args)

@@ -23,6 +23,15 @@ from repro.audit.invariants import (
     run_audit_statuses,
 )
 
+from repro.audit.realnet import (
+    RealnetSuiteResult,
+    RealnetVerdict,
+    check_realnet,
+    realnet_repro_snippet,
+    realnet_spec,
+    run_realnet_suite,
+)
+
 from repro.audit.soak import (
     SoakOptions,
     SoakResult,
@@ -32,6 +41,12 @@ from repro.audit.soak import (
 )
 
 __all__ = [
+    "RealnetSuiteResult",
+    "RealnetVerdict",
+    "check_realnet",
+    "realnet_repro_snippet",
+    "realnet_spec",
+    "run_realnet_suite",
     "AuditFinding",
     "AuditStatus",
     "ScenarioSpec",

@@ -45,8 +45,7 @@ from repro.obs.profiler import PHASE_FDS_INTERCLUSTER
 from repro.fds.config import FdsConfig
 from repro.fds.messages import FailureReport, HealthStatusUpdate
 from repro.fds.reports import BoundaryLedger
-from repro.sim.node import SimNode
-from repro.sim.timers import Timer
+from repro.fds.substrate import Substrate, TimerHandle
 from repro.types import NodeId
 
 
@@ -62,7 +61,7 @@ class InterclusterForwarder:
 
     def __init__(
         self,
-        node: SimNode,
+        node: Substrate,
         config: FdsConfig,
         duties: Mapping[NodeId, Tuple[int, int]],
         head_boundaries: Mapping[NodeId, int],
@@ -79,13 +78,13 @@ class InterclusterForwarder:
         self._rebroadcast_update = rebroadcast_update
         self.ledger = BoundaryLedger()
         # destination head -> armed timer.
-        self._timers: Dict[NodeId, Timer] = {}
+        self._timers: Dict[NodeId, TimerHandle] = {}
         #: destination head -> failures the armed timer is watching.  A
         #: second duty toward the same destination must *merge* into this
         #: set (not replace it), or the first report's failures silently
         #: lose their retry coverage.
         self._armed_failures: Dict[NodeId, FrozenSet[NodeId]] = {}
-        self._origin_timer: Optional[Timer] = None
+        self._origin_timer: Optional[TimerHandle] = None
         self._origin_pending: FrozenSet[NodeId] = frozenset()
         self._origin_retries = 0
         # Counters for metrics.
@@ -95,10 +94,10 @@ class InterclusterForwarder:
         self.origin_retransmissions = 0
 
     def _trace(self, kind: str, **detail: object) -> None:
-        tracer = self._node.medium.tracer
+        tracer = self._node.tracer
         if tracer.enabled:
             tracer.record(
-                self._node.sim.now, kind, node=int(self._node.node_id), **detail
+                self._node.now, kind, node=int(self._node.node_id), **detail
             )
 
     @staticmethod
@@ -110,7 +109,7 @@ class InterclusterForwarder:
     # ------------------------------------------------------------------
     def on_local_update(self, update: HealthStatusUpdate) -> None:
         """Profiled entry point for :meth:`_handle_local_update`."""
-        profiler = self._node.sim.profiler
+        profiler = self._node.profiler
         if not profiler.enabled:
             self._handle_local_update(update)
             return
@@ -155,7 +154,7 @@ class InterclusterForwarder:
 
     def on_foreign_update(self, update: HealthStatusUpdate) -> None:
         """Profiled entry point for :meth:`_handle_foreign_update`."""
-        profiler = self._node.sim.profiler
+        profiler = self._node.profiler
         if not profiler.enabled:
             self._handle_foreign_update(update)
             return
@@ -302,7 +301,7 @@ class InterclusterForwarder:
     ) -> None:
         # Timer-driven forwarding fires outside any FDS round, so it must
         # charge the inter-cluster phase itself.
-        profiler = self._node.sim.profiler
+        profiler = self._node.profiler
         if not profiler.enabled:
             self._handle_timeout(dest, failures, origin, standby)
             return

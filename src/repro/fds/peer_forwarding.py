@@ -29,8 +29,7 @@ from repro.fds.messages import (
     PeerForwardAck,
     PeerForwardRequest,
 )
-from repro.sim.node import SimNode
-from repro.sim.timers import Timer
+from repro.fds.substrate import Substrate, TimerHandle
 from repro.types import NodeId
 
 
@@ -50,7 +49,7 @@ class PeerForwarder:
 
     def __init__(
         self,
-        node: SimNode,
+        node: Substrate,
         config: FdsConfig,
         get_update: Callable[[int], Optional[HealthStatusUpdate]],
         accept_update: Callable[[HealthStatusUpdate], None],
@@ -67,7 +66,7 @@ class PeerForwarder:
         self._accept_update = accept_update
         self._energy_fraction = energy_fraction
         # Responder state: (requester, execution) -> armed timer.
-        self._pending: Dict[Tuple[NodeId, int], Timer] = {}
+        self._pending: Dict[Tuple[NodeId, int], TimerHandle] = {}
         # Requester state.
         self._requested_execution: Optional[int] = None
         self._recovered = False

@@ -22,6 +22,15 @@ node's *current belief* about its role (CH / deputy / gateway / member),
 which starts from the installed :class:`~repro.cluster.state.LocalClusterView`
 and evolves with takeovers and admissions.  Protocol code never reads
 ground truth; all knowledge arrives by radio.
+
+Protocol code is substrate-agnostic: everything it needs from its host
+goes through the :class:`~repro.fds.substrate.Substrate` surface
+(``send``, ``timers``, ``now``, ``tracer``, ``profiler``), so the same
+objects run inside the discrete-event simulator
+(:class:`~repro.sim.node.SimNode`) and on real localhost UDP sockets
+(:class:`~repro.rt.substrate.RtNode`).  The deployment driver below
+(:class:`FdsDeployment` / :func:`install_fds`) is the *simulator*
+binding; the runtime binding lives in :mod:`repro.rt.runtime`.
 """
 
 from __future__ import annotations
@@ -155,18 +164,18 @@ class FdsProtocol(Protocol):
         assert self.node is not None
         if self.energy is None:
             return 1.0
-        return self.energy.remaining_fraction(self.node.node_id, self.node.sim.now)
+        return self.energy.remaining_fraction(self.node.node_id, self.node.now)
 
     def _trace(self, kind: str, **detail: object) -> None:
         assert self.node is not None
-        self.node.medium.tracer.record(
-            self.node.sim.now, kind, node=int(self.node.node_id), **detail
+        self.node.tracer.record(
+            self.node.now, kind, node=int(self.node.node_id), **detail
         )
 
     def _send(self, payload: object, recipient: Optional[NodeId] = None) -> None:
         assert self.node is not None
         if self.energy is not None:
-            self.energy.on_transmit(self.node.node_id, self.node.sim.now)
+            self.energy.on_transmit(self.node.node_id, self.node.now)
         self.node.send(payload, recipient)
 
     # ------------------------------------------------------------------
@@ -184,10 +193,10 @@ class FdsProtocol(Protocol):
         assert self.node is not None
         if executions < 1:
             raise ConfigurationError(f"executions must be >= 1, got {executions}")
-        now = self.node.sim.now
+        now = self.node.now
         if first_epoch < now:
             raise ConfigurationError(
-                f"first_epoch {first_epoch} is in the simulator's past ({now})"
+                f"first_epoch {first_epoch} is in the substrate's past ({now})"
             )
         thop = self.config.thop
         for k in range(first_index, first_index + executions):
@@ -213,11 +222,11 @@ class FdsProtocol(Protocol):
     def _make_round(self, execution: int, method, phase: str) -> object:
         # One wrapper profiles all four rounds: the phase gate sits here,
         # not in the round bodies, so disabled runs pay a single branch.
-        sim = self.node.sim
-        assert sim is not None
+        node = self.node
+        assert node is not None
 
         def fire() -> None:
-            profiler = sim.profiler
+            profiler = node.profiler
             if profiler.enabled:
                 t0 = perf_counter()
                 try:
@@ -466,7 +475,7 @@ class FdsProtocol(Protocol):
     def on_receive(self, envelope: Envelope) -> None:
         assert self.node is not None
         if self.energy is not None:
-            self.energy.on_receive(self.node.node_id, self.node.sim.now)
+            self.energy.on_receive(self.node.node_id, self.node.now)
         payload = envelope.payload
         if isinstance(payload, Heartbeat):
             self._on_heartbeat(payload)

@@ -1,0 +1,114 @@
+"""The host surface the FDS protocol family runs against.
+
+The protocol code (:class:`~repro.fds.service.FdsProtocol` and its
+sub-components) never talks to the discrete-event simulator directly:
+everything it needs from its host funnels through the small surface
+formalized here -- transmit a payload, schedule a restartable timeout,
+read a monotonic clock, and emit trace records.  Two hosts implement it:
+
+- :class:`~repro.sim.node.SimNode` -- the discrete-event simulator's
+  node: the clock is virtual simulated time, timers are heap events, and
+  a "send" fans out through the :class:`~repro.sim.medium.RadioMedium`;
+- :class:`~repro.rt.substrate.RtNode` -- the real-network runtime's
+  node: the clock is the wall clock, timers are asyncio callbacks, and a
+  "send" writes length-prefixed JSON datagrams to localhost UDP sockets.
+
+Because the same protocol objects run unmodified on both substrates, a
+simulated scenario and a real-socket scenario of the same spec are
+*differentially comparable* (see :mod:`repro.audit.realnet`) -- the
+conformance story behind the ``repro rt`` commands.
+
+The interfaces are :class:`typing.Protocol` classes (structural): a host
+satisfies them by shape, not by inheritance, so the simulator keeps its
+zero-overhead concrete classes and the runtime keeps asyncio-native ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+from repro.sim.trace import Tracer
+from repro.types import NodeId, SimTime
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """A one-shot, restartable timeout (the shape of
+    :class:`~repro.sim.timers.Timer`)."""
+
+    @property
+    def armed(self) -> bool:
+        """Whether the timer is currently counting down."""
+        ...
+
+    def start(self, delay: SimTime) -> None:
+        """(Re)arm the timer ``delay`` substrate-seconds from now."""
+        ...
+
+    def stop(self) -> None:
+        """Disarm without firing; idempotent."""
+        ...
+
+
+@runtime_checkable
+class TimerScheduler(Protocol):
+    """A factory of :class:`TimerHandle` objects owned by one node.
+
+    Crash semantics live here: fail-stop requires that crashing a node
+    disarms every outstanding timeout in one :meth:`stop_all` call.
+    """
+
+    def create(
+        self, callback: Callable[[], None], label: str = ""
+    ) -> TimerHandle:
+        ...
+
+    def after(
+        self, delay: SimTime, callback: Callable[[], None], label: str = ""
+    ) -> TimerHandle:
+        ...
+
+    def stop_all(self) -> None:
+        ...
+
+
+@runtime_checkable
+class Substrate(Protocol):
+    """What a host must provide for the FDS protocol family to run.
+
+    ``now`` is a monotonic clock in the substrate's own time base
+    (virtual seconds for the simulator, wall-clock seconds since the run
+    epoch for the runtime); all protocol timing constants
+    (:class:`~repro.fds.config.FdsConfig`) are interpreted in that same
+    base, so a runtime config simply carries wall-scaled ``phi``/``thop``.
+    """
+
+    node_id: NodeId
+
+    @property
+    def now(self) -> SimTime:
+        """The substrate's monotonic clock."""
+        ...
+
+    @property
+    def timers(self) -> TimerScheduler:
+        """This node's timer service (disarmed wholesale on crash)."""
+        ...
+
+    @property
+    def tracer(self) -> Tracer:
+        """Where this node's trace records go."""
+        ...
+
+    @property
+    def profiler(self):
+        """The phase profiler charged by protocol hot paths
+        (:data:`~repro.obs.profiler.NULL_PROFILER` when disabled)."""
+        ...
+
+    def send(self, payload: object, recipient: Optional[NodeId] = None) -> int:
+        """Transmit ``payload`` (``recipient=None`` broadcasts).
+
+        A crashed host silently sends nothing (fail-stop), returning 0.
+        """
+        ...

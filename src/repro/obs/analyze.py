@@ -49,6 +49,11 @@ class TraceMeta:
     seed: Optional[int] = None
     executions: int = 0
     fds_start: float = 0.0
+    #: ``"phi"`` for simulator traces (virtual seconds; latencies are
+    #: displayed in heartbeat intervals) or ``"wall_ms"`` for runtime
+    #: traces (wall-clock seconds; latencies are also meaningful in
+    #: milliseconds).  Old spools omit the field and default to "phi".
+    timebase: str = "phi"
     found: bool = False
 
     @classmethod
@@ -61,8 +66,14 @@ class TraceMeta:
             seed=d.get("seed"),
             executions=int(d.get("executions", 0)),
             fds_start=float(d.get("fds_start", 0.0)),
+            timebase=str(d.get("timebase", "phi")),
             found=True,
         )
+
+    @property
+    def wall_clock(self) -> bool:
+        """Whether timestamps are wall-clock seconds (runtime trace)."""
+        return self.timebase == "wall_ms"
 
     def execution_of(self, time: float) -> int:
         """Which FDS execution a timestamp falls in (floor by phi)."""

@@ -102,6 +102,7 @@ def _summary_json(summary: TraceSummary) -> dict:
             "nodes": summary.meta.nodes,
             "seed": summary.meta.seed,
             "executions": summary.meta.executions,
+            "timebase": summary.meta.timebase,
         },
         "kinds": dict(sorted(summary.kinds.items())),
         "phases": {
@@ -126,6 +127,8 @@ def _print_summary(summary: TraceSummary) -> None:
             f"; scenario: {meta.nodes} nodes, phi={meta.phi}, "
             f"thop={meta.thop}, seed={meta.seed}"
         )
+        if meta.wall_clock:
+            header += " (wall-clock runtime trace)"
     print(header)
     print()
     kind_rows = [[kind, count] for kind, count in sorted(summary.kinds.items())]
@@ -153,15 +156,19 @@ def _print_latency_histogram(summary: TraceSummary) -> None:
         for bound, cumulative in hist.cumulative():
             label = "+Inf" if math.isinf(bound) else f"<= {bound:g} phi"
             rows.append([label, cumulative])
-    print(render_table(
-        ["latency bucket", "crashes detected"], rows,
-        title=(
+    if detected:
+        mean_phi = sum(detected) / len(detected)
+        mean = f"mean {mean_phi:.3f} phi"
+        if summary.meta.wall_clock:
+            mean += f" = {1000 * mean_phi * summary.meta.phi:.1f} ms"
+        title = (
             f"Detection latency ({len(detected)} detected, "
-            f"{undetected} undetected of {len(latencies)} crash(es); "
-            f"mean {sum(detected) / len(detected):.3f} phi)"
-            if detected else
-            f"Detection latency ({undetected} crash(es), none detected)"
-        ),
+            f"{undetected} undetected of {len(latencies)} crash(es); {mean})"
+        )
+    else:
+        title = f"Detection latency ({undetected} crash(es), none detected)"
+    print(render_table(
+        ["latency bucket", "crashes detected"], rows, title=title,
     ))
 
 
@@ -223,18 +230,27 @@ def _cmd_latency(args: argparse.Namespace) -> int:
         print("trace records no crashes")
         return 0
     phi = summary.meta.phi
+    wall = summary.meta.wall_clock
     rows = []
     for node, latency in sorted(latencies.items()):
         crashed_at = summary.crash_times[node]
         detected_at = summary.first_detection.get(node)
-        rows.append([
+        row = [
             node,
             f"{crashed_at:.3f}",
             "-" if detected_at is None else f"{detected_at:.3f}",
             "undetected" if latency is None else f"{latency:.3f}",
-        ])
-    print(render_table(
-        ["node", "crashed_at", "first_detection", "latency (phi)"], rows,
-        title=f"Detection latency, phi={phi:g} s",
-    ))
+        ]
+        if wall:
+            row.append(
+                "-" if latency is None else f"{1000 * latency * phi:.1f}"
+            )
+        rows.append(row)
+    headers = ["node", "crashed_at", "first_detection", "latency (phi)"]
+    if wall:
+        headers.append("latency (ms)")
+        title = f"Detection latency, phi={phi:g} wall seconds"
+    else:
+        title = f"Detection latency, phi={phi:g} s"
+    print(render_table(headers, rows, title=title))
     return 0

@@ -14,6 +14,13 @@ The on-disk format is one JSON object per line with the same shape
 plus the flattened detail), so ``repro trace``, ``jq``, and pandas all
 read it directly; :func:`iter_spool` streams it back as
 :class:`~repro.sim.trace.TraceRecord` objects.
+
+Emission is safe under concurrency: ``emit``/``flush``/``close`` hold an
+internal lock, so asyncio callbacks that hop threads (executors,
+loop.call_soon_threadsafe) and the rt runtime's socket callbacks can
+share one spool without interleaving half-written lines.  (Within a
+single event loop the callbacks never truly race, but the lock makes the
+guarantee independent of the caller's scheduling.)
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from __future__ import annotations
 import gzip
 import io
 import json
+import threading
 from collections import deque
 from pathlib import Path
 from typing import Deque, Iterator, Optional, Sequence, Union
@@ -82,24 +90,36 @@ class SpoolingTracer(Tracer):
         else:
             self._handle = self.path.open("w", encoding="utf-8")
         self._closed = False
+        # Serializes emit/flush/close across threads: one record is one
+        # intact line on disk, and the spooled counter stays exact.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def emit(self, record: TraceRecord) -> None:
-        if self._closed:
-            raise ConfigurationError(
-                f"SpoolingTracer {self.path} is closed; no further records"
-            )
         if self._prefixes is not None and not _kind_matches(
             record.kind, self._prefixes
         ):
-            self.filtered += 1
+            with self._lock:
+                if self._closed:
+                    raise ConfigurationError(
+                        f"SpoolingTracer {self.path} is closed; "
+                        f"no further records"
+                    )
+                self.filtered += 1
             return
-        self._handle.write(json.dumps(record_to_dict(record), sort_keys=True))
-        self._handle.write("\n")
-        self.spooled += 1
-        self._tail.append(record)
-        if self.spooled % self._flush_every == 0:
-            self._handle.flush()
+        # Serialize outside the lock (pure CPU), write inside it.
+        line = json.dumps(record_to_dict(record), sort_keys=True)
+        with self._lock:
+            if self._closed:
+                raise ConfigurationError(
+                    f"SpoolingTracer {self.path} is closed; no further records"
+                )
+            self._handle.write(line)
+            self._handle.write("\n")
+            self.spooled += 1
+            self._tail.append(record)
+            if self.spooled % self._flush_every == 0:
+                self._handle.flush()
 
     # ------------------------------------------------------------------
     def tail_records(self) -> tuple:
@@ -107,17 +127,19 @@ class SpoolingTracer(Tracer):
         return tuple(self._tail)
 
     def flush(self) -> None:
-        if not self._closed:
-            self._handle.flush()
+        with self._lock:
+            if not self._closed:
+                self._handle.flush()
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        try:
-            self._handle.flush()
-        finally:
-            self._handle.close()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._handle.flush()
+            finally:
+                self._handle.close()
 
     def __enter__(self) -> "SpoolingTracer":
         return self

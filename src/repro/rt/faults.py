@@ -1,0 +1,86 @@
+"""Faultload derivation and wall-clock crash injection for the runtime.
+
+Stream identity is the whole point: the runtime draws its crash schedule
+from the *same* named RNG streams, candidate ordering, and execution
+window as :func:`repro.experiments.runner.run_scenario`, so a simulated
+and a real run of one seeded spec crash the *same nodes* in the *same
+executions* -- only the timestamps differ (wall-scaled instead of
+virtual).  That is what makes the sim/real differential
+(:mod:`repro.audit.realnet`) compare like with like.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Tuple
+
+import numpy as np
+
+from repro.cluster.state import ClusterLayout
+from repro.failure.faultload import Faultload, make_random_crashes
+from repro.fds.config import FdsConfig
+from repro.types import NodeId
+
+
+def derive_faultload(
+    node_ids: Tuple[NodeId, ...],
+    layout: ClusterLayout,
+    crash_count: int,
+    executions: int,
+    wall_config: FdsConfig,
+    rng: np.random.Generator,
+    fds_start: float,
+) -> Faultload:
+    """The scenario runner's crash schedule, with wall-clock timestamps.
+
+    ``rng`` must be the seed's ``"faultload"`` stream and ``node_ids``
+    the full sorted id set -- then the candidate tuple (operational
+    non-heads, ascending) and the draw sequence match the simulator's
+    bit for bit, and only ``wall_config.phi`` / ``fds_start`` (already
+    wall-scaled) change the resulting times.
+    """
+    candidates: Tuple[NodeId, ...] = tuple(
+        nid for nid in sorted(node_ids) if nid not in layout.heads
+    )
+    last_exec = max(1, executions - 2)
+    return make_random_crashes(
+        candidates,
+        crash_count,
+        wall_config,
+        rng,
+        fds_start=fds_start,
+        first_execution=1,
+        last_execution=last_exec,
+    )
+
+
+class CrashDriver:
+    """Schedules fail-stop kills on the event loop.
+
+    Each scheduled crash calls back into the runtime
+    (``runtime.crash_node``), which fail-stops the :class:`RtNode`,
+    cancels its supervisor task, and closes its socket -- the real
+    process-death analogue of the simulator's
+    :class:`~repro.failure.injection.FailureInjector`.
+    """
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, runtime) -> None:
+        self._loop = loop
+        self._runtime = runtime
+        self._handles: list = []
+
+    def schedule(self, faultload: Faultload) -> None:
+        """Arm one loop timer per crash event (times are epoch-relative)."""
+        for event in faultload.events:
+            delay = max(0.0, event.time - self._runtime.now)
+            self._handles.append(
+                self._loop.call_later(
+                    delay, self._runtime.crash_node, event.node_id
+                )
+            )
+
+    def cancel_pending(self) -> None:
+        """Disarm crashes that have not fired (shutdown path)."""
+        for handle in self._handles:
+            handle.cancel()
+        self._handles.clear()

@@ -87,6 +87,24 @@ class SimNode:
         protocol.attach(self)
         self.protocols.append(protocol)
 
+    # ------------------------------------------------------------------
+    # Substrate surface (see :mod:`repro.fds.substrate`)
+    # ------------------------------------------------------------------
+    @property
+    def now(self):
+        """The substrate clock: virtual simulated seconds."""
+        return self.sim.now
+
+    @property
+    def tracer(self):
+        """Where this node's trace records go (the medium's tracer)."""
+        return self.medium.tracer
+
+    @property
+    def profiler(self):
+        """The simulator's phase profiler."""
+        return self.sim.profiler
+
     def get_protocol(self, protocol_type: type) -> Protocol:
         """The first installed protocol of the given type.
 

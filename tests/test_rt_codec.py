@@ -1,0 +1,282 @@
+"""Wire-codec conformance: every FDS message type must survive a
+frame round-trip bit-exactly, and every malformed frame must raise a
+typed :class:`~repro.rt.codec.CodecError` -- never a bare exception.
+
+The round-trip cases are property-style: seeded random instances of
+each dataclass in :mod:`repro.fds.messages`, including the nested
+``PeerForward(update=HealthStatusUpdate(...))`` shape and frozenset /
+Optional / tuple fields.
+"""
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.fds.messages import (
+    Digest,
+    FailureReport,
+    Heartbeat,
+    HealthStatusUpdate,
+    PeerForward,
+    PeerForwardAck,
+    PeerForwardRequest,
+)
+from repro.rt.codec import (
+    MAX_FRAME_BODY,
+    MESSAGE_TYPES,
+    CodecError,
+    decode_frame,
+    decode_message,
+    encode_frame,
+    encode_message,
+)
+
+
+def _node_set(rng, low=0, high=40):
+    return frozenset(
+        int(v) for v in rng.integers(low, high, size=int(rng.integers(0, 5)))
+    )
+
+
+def _random_update(rng):
+    return HealthStatusUpdate(
+        head=int(rng.integers(0, 40)),
+        execution=int(rng.integers(0, 100)),
+        new_failures=_node_set(rng),
+        known_failures=_node_set(rng),
+        admissions=_node_set(rng),
+        takeover_from=(
+            None if rng.random() < 0.5 else int(rng.integers(0, 40))
+        ),
+        relay=bool(rng.random() < 0.5),
+        membership=(
+            None if rng.random() < 0.5 else _node_set(rng)
+        ),
+        refutations=_node_set(rng),
+        deputies=(
+            None
+            if rng.random() < 0.5
+            else tuple(int(v) for v in rng.integers(0, 40, size=2))
+        ),
+        piggyback={"hop": int(rng.integers(0, 5))} if rng.random() < 0.3
+        else None,
+    )
+
+
+def _random_message(rng, cls):
+    if cls is Heartbeat:
+        return Heartbeat(
+            sender=int(rng.integers(0, 40)),
+            execution=int(rng.integers(0, 100)),
+            marked=bool(rng.random() < 0.5),
+            piggyback=None if rng.random() < 0.5 else {"k": 1},
+            sleep_span=int(rng.integers(0, 4)),
+        )
+    if cls is Digest:
+        return Digest(
+            sender=int(rng.integers(0, 40)),
+            execution=int(rng.integers(0, 100)),
+            heard=_node_set(rng),
+        )
+    if cls is HealthStatusUpdate:
+        return _random_update(rng)
+    if cls is FailureReport:
+        return FailureReport(
+            sender=int(rng.integers(0, 40)),
+            origin=int(rng.integers(0, 40)),
+            target_head=int(rng.integers(0, 40)),
+            failures=_node_set(rng),
+            history=_node_set(rng),
+            refutations=_node_set(rng),
+        )
+    if cls is PeerForwardRequest:
+        return PeerForwardRequest(
+            sender=int(rng.integers(0, 40)),
+            execution=int(rng.integers(0, 100)),
+        )
+    if cls is PeerForward:
+        return PeerForward(
+            sender=int(rng.integers(0, 40)),
+            requester=int(rng.integers(0, 40)),
+            update=_random_update(rng),
+        )
+    if cls is PeerForwardAck:
+        return PeerForwardAck(
+            sender=int(rng.integers(0, 40)),
+            execution=int(rng.integers(0, 100)),
+        )
+    raise AssertionError(f"unhandled message type {cls}")
+
+
+@pytest.mark.parametrize("cls", MESSAGE_TYPES, ids=lambda c: c.__name__)
+def test_roundtrip_every_message_type(cls):
+    rng = np.random.default_rng(hash(cls.__name__) % (2**32))
+    for _ in range(25):
+        message = _random_message(rng, cls)
+        frame = encode_frame(3, None, 1.25, message)
+        decoded = decode_frame(frame)
+        assert decoded.sender == 3
+        assert decoded.recipient is None
+        assert decoded.sent_at == 1.25
+        assert decoded.payload == message
+        assert type(decoded.payload) is cls
+
+
+def test_roundtrip_unicast_recipient():
+    message = PeerForwardAck(sender=1, execution=2)
+    decoded = decode_frame(encode_frame(1, 9, 0.5, message))
+    assert decoded.recipient == 9
+    assert decoded.payload == message
+
+
+def test_encoding_is_deterministic():
+    rng = np.random.default_rng(7)
+    update = _random_update(rng)
+    assert encode_frame(2, None, 0.0, update) == encode_frame(
+        2, None, 0.0, update
+    )
+
+
+def test_frame_is_length_prefixed_canonical_json():
+    frame = encode_frame(0, 1, 2.0, PeerForwardAck(sender=0, execution=1))
+    (length,) = struct.unpack(">I", frame[:4])
+    assert length == len(frame) - 4
+    body = json.loads(frame[4:].decode("utf-8"))
+    assert body["v"] == 1
+    assert body["type"] == "PeerForwardAck"
+
+
+# ----------------------------------------------------------------------
+# Adversarial frames: typed errors, never crashes.
+# ----------------------------------------------------------------------
+def _valid_frame():
+    return encode_frame(0, None, 0.0, PeerForwardAck(sender=0, execution=1))
+
+
+@pytest.mark.parametrize(
+    "mutilate",
+    [
+        lambda f: b"",
+        lambda f: f[:3],
+        lambda f: f[:4],
+        lambda f: f[: len(f) // 2],
+        lambda f: f + b"extra",
+        lambda f: struct.pack(">I", MAX_FRAME_BODY + 1) + f[4:],
+        lambda f: f[:4] + b"\xff\xfe" + f[6:],
+        lambda f: f[:4] + b"not json".ljust(len(f) - 4, b" "),
+        lambda f: f[:4] + b"[1, 2, 3]".ljust(len(f) - 4, b" "),
+    ],
+    ids=[
+        "empty",
+        "short-prefix",
+        "no-body",
+        "truncated-body",
+        "trailing-garbage",
+        "oversized-claim",
+        "bad-utf8",
+        "not-json",
+        "non-dict-body",
+    ],
+)
+def test_mutilated_frames_raise_codec_error(mutilate):
+    with pytest.raises(CodecError):
+        decode_frame(mutilate(_valid_frame()))
+
+
+def _reframe(body: dict) -> bytes:
+    data = json.dumps(body).encode("utf-8")
+    return struct.pack(">I", len(data)) + data
+
+
+def _valid_body() -> dict:
+    return json.loads(_valid_frame()[4:].decode("utf-8"))
+
+
+@pytest.mark.parametrize(
+    "corrupt",
+    [
+        lambda b: {**b, "v": 99},
+        lambda b: {k: v for k, v in b.items() if k != "v"},
+        lambda b: {k: v for k, v in b.items() if k != "sender"},
+        lambda b: {k: v for k, v in b.items() if k != "type"},
+        lambda b: {k: v for k, v in b.items() if k != "body"},
+        lambda b: {**b, "sender": "zero"},
+        lambda b: {**b, "sender": True},
+        lambda b: {**b, "recipient": "all"},
+        lambda b: {**b, "sent_at": "soon"},
+        lambda b: {**b, "type": "NotAMessage"},
+        lambda b: {**b, "body": []},
+        lambda b: {**b, "body": {}},
+        lambda b: {**b, "body": {**b["body"], "surplus": 1}},
+        lambda b: {**b, "body": {**b["body"], "execution": "one"}},
+    ],
+    ids=[
+        "wrong-version",
+        "missing-version",
+        "missing-sender",
+        "missing-type",
+        "missing-body",
+        "string-sender",
+        "bool-sender",
+        "string-recipient",
+        "string-sent-at",
+        "unknown-type",
+        "non-dict-inner-body",
+        "missing-fields",
+        "extra-field",
+        "bad-field-type",
+    ],
+)
+def test_corrupted_bodies_raise_codec_error(corrupt):
+    with pytest.raises(CodecError):
+        decode_frame(_reframe(corrupt(_valid_body())))
+
+
+def test_nested_update_validation():
+    frame_body = json.loads(
+        encode_frame(
+            0, None, 0.0,
+            PeerForward(sender=0, requester=1, update=_random_update(
+                np.random.default_rng(0)
+            )),
+        )[4:].decode("utf-8")
+    )
+    frame_body["body"]["update"]["head"] = "boom"
+    with pytest.raises(CodecError):
+        decode_frame(_reframe(frame_body))
+
+
+def test_nodeset_rejects_non_int_members():
+    body = _valid_body()
+    body["type"] = "Digest"
+    body["body"] = {"sender": 0, "execution": 1, "heard": [1, "two"]}
+    with pytest.raises(CodecError):
+        decode_frame(_reframe(body))
+
+
+def test_unencodable_payload_raises():
+    with pytest.raises(CodecError):
+        encode_message(object())
+    with pytest.raises(CodecError):
+        encode_frame(
+            0, None, 0.0,
+            Heartbeat(sender=0, execution=0, piggyback={"bad": object()}),
+        )
+
+
+def test_decode_message_rejects_non_dict():
+    with pytest.raises(CodecError):
+        decode_message("Heartbeat", [1, 2])
+
+
+def test_fuzz_random_bytes_never_crash():
+    rng = np.random.default_rng(42)
+    for _ in range(200):
+        size = int(rng.integers(0, 64))
+        blob = bytes(rng.integers(0, 256, size=size, dtype=np.uint8))
+        try:
+            decode_frame(blob)
+        except CodecError:
+            pass  # the only acceptable failure mode
