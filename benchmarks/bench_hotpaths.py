@@ -26,6 +26,10 @@ performance trajectory is trackable across PRs.  Three benches:
   size, but under Gilbert-Elliott loss with the energy ledger on.  The
   stateful chains and batched charges are the costliest array paths, so
   they carry their own (lower) ``speedup_floor`` gate.
+- **formation_array_round** -- the six-round distributed formation
+  protocol, event engine vs ``run_array_formation`` on the same N~972
+  lattice field under Bernoulli loss, plus an array-only N=10^5 point in
+  full runs.  Carries its own ``speedup_floor`` CI gate.
 - **obs_overhead** -- an end-to-end scenario with observability off
   (NULL_PROFILER + NullTracer, the default) vs. fully on (PhaseProfiler
   + SpoolingTracer to gzip).  The disabled ratio is the instrumentation
@@ -80,6 +84,12 @@ ARRAY_ROUND_SPEEDUP_FLOOR = 25.0
 #: of which eat into the vectorization win; measured ~300x on the
 #: reference container, floored conservatively below the plain-loss gate.
 ARRAY_ROUND_GILBERT_SPEEDUP_FLOOR = 20.0
+
+#: Gate for the vectorized six-round formation protocol: event-engine
+#: ``run_formation`` vs ``run_array_formation`` on the same N~972 field.
+#: Measured ~90x on the reference container; floored at the issue's
+#: acceptance bound.
+FORMATION_ARRAY_SPEEDUP_FLOOR = 20.0
 
 
 def _dense_cluster_positions(n: int, radius: float, seed: int) -> list[Vec2]:
@@ -309,6 +319,100 @@ def bench_array_round_gilbert(quick: bool) -> dict:
     }
 
 
+def bench_formation_array_round(quick: bool) -> dict:
+    """Event vs array engine running the six-round formation protocol.
+
+    Both sides form the same lattice field under Bernoulli p=0.1 loss:
+    the event engine spools ~1.4M delivery events through the simulator,
+    the array engine runs the batched per-round edge programs.  The pair
+    is timed at N~972 (the issue's acceptance size); the full run adds an
+    array-only N=10^5 point to show formation is no longer the scaling
+    bottleneck (the FDS phase already ran at 10^6 in earlier PRs).
+    """
+    from repro.cluster.formation import FormationConfig, run_formation
+    from repro.sim.array_engine.formation import run_array_formation
+    from repro.sim.array_engine.layout import lattice_positions
+    from repro.sim.array_engine.loss import ArrayLossDraw
+    from repro.sim.loss import build_loss_model
+    from repro.sim.network import NetworkConfig, build_network
+    from repro.types import NodeId
+
+    radius = 100.0
+    loss_p = 0.1
+    config = FormationConfig()
+    sizes = ((12, 80),) if quick else ((12, 80), (2000, 49))
+    per_size: dict[str, dict] = {}
+    pair_speedup = None
+
+    for clusters, members in sizes:
+        n = clusters * (members + 1)
+        xs, ys = lattice_positions(
+            cluster_count=clusters, members_per_cluster=members,
+            radius=radius, rng=np.random.default_rng(7),
+        )
+        loss = ArrayLossDraw(
+            "bernoulli", (("p", loss_p),), loss_probability=loss_p,
+            transmission_range=radius, rng=np.random.default_rng(1),
+        )
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            outcome = run_array_formation(
+                xs, ys, radius, config, loss, np.random.default_rng(2)
+            )
+            array_s = time.perf_counter() - start
+        finally:
+            gc.enable()
+        row = {
+            "n": n,
+            "clusters": clusters,
+            "members_per_cluster": members,
+            "array_s": array_s,
+            "array_heads": int(outcome.head_ids().size),
+            "event_s": None,
+            "speedup": None,
+        }
+        if (clusters, members) == sizes[0]:
+            positions = {
+                NodeId(i): Vec2(float(x), float(y))
+                for i, (x, y) in enumerate(zip(xs, ys))
+            }
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                network = build_network(
+                    positions,
+                    NetworkConfig(
+                        transmission_range=radius, loss_probability=loss_p,
+                        seed=0, vectorized=True,
+                    ),
+                    loss_model=build_loss_model(
+                        "bernoulli", (("p", loss_p),)
+                    ),
+                )
+                event_layout = run_formation(network, config)
+                event_s = time.perf_counter() - start
+            finally:
+                gc.enable()
+            row["event_s"] = event_s
+            row["event_heads"] = len(event_layout.clusters)
+            row["speedup"] = event_s / array_s
+            pair_speedup = row["speedup"]
+        per_size[str(n)] = row
+
+    return {
+        "loss_p": loss_p,
+        "iterations": config.iterations,
+        "sizes": per_size,
+        "speedup": pair_speedup,
+        "speedup_floor": FORMATION_ARRAY_SPEEDUP_FLOOR,
+        "meets_floor": (
+            pair_speedup is not None
+            and pair_speedup >= FORMATION_ARRAY_SPEEDUP_FLOOR
+        ),
+    }
+
+
 def bench_repeat_scaling(seeds: int, quick: bool) -> dict:
     config = ScenarioConfig(
         cluster_count=2,
@@ -491,6 +595,22 @@ def main(argv: list[str] | None = None) -> int:
             f"floor {array_gilbert['speedup_floor']}"
         )
 
+    print("distributed formation (event vs array engine) ...")
+    formation = bench_formation_array_round(args.quick)
+    for n, row in formation["sizes"].items():
+        line = f"  N={n}: array {row['array_s'] * 1e3:.1f} ms"
+        if row["event_s"] is not None:
+            line += (
+                f", event {row['event_s']:.2f} s "
+                f"(speedup {row['speedup']:.0f}x)"
+            )
+        print(line)
+    if not formation["meets_floor"]:
+        print(
+            f"  WARNING: formation speedup {formation['speedup']} below "
+            f"floor {formation['speedup_floor']}"
+        )
+
     print("observability overhead (off vs. profiler + gzip spool) ...")
     obs = bench_obs_overhead(args.quick)
     print(
@@ -514,6 +634,7 @@ def main(argv: list[str] | None = None) -> int:
             "repeat_scenario": repeat,
             "array_round": array_round,
             "array_round_gilbert": array_gilbert,
+            "formation_array_round": formation,
             "obs_overhead": obs,
         },
     }

@@ -119,6 +119,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         executions=args.executions,
         seed=args.seed,
         formation=args.formation,
+        formation_iterations=args.formation_iterations,
+        formation_backoff_fraction=args.formation_backoff,
         engine=args.engine,
         loss_kind=args.loss_kind,
         track_energy=args.track_energy,
@@ -235,6 +237,14 @@ def main(argv: list[str] | None = None) -> int:
     scenario.add_argument("--seed", type=int, default=0)
     scenario.add_argument("--formation", choices=("oracle", "protocol"),
                           default="oracle")
+    scenario.add_argument("--formation-iterations", dest="formation_iterations",
+                          type=int, default=3,
+                          help="six-round formation iterations (protocol "
+                               "formation only)")
+    scenario.add_argument("--formation-backoff", dest="formation_backoff",
+                          type=float, default=0.4,
+                          help="RCC declaration backoff upper bound as a "
+                               "fraction of a round, in (0, 0.9]")
     scenario.add_argument("--loss-kind", dest="loss_kind", default="bernoulli",
                           choices=("perfect", "bernoulli", "bounded",
                                    "distance", "gilbert"),
@@ -246,8 +256,8 @@ def main(argv: list[str] | None = None) -> int:
     scenario.add_argument("--engine", choices=("event", "array"),
                           default="event",
                           help="'event' = discrete-event reference; 'array' = "
-                               "round-level numpy engine (oracle formation "
-                               "only, scales to 10^6 nodes)")
+                               "round-level numpy engine (both formation "
+                               "modes, scales to 10^6 nodes)")
     scenario.add_argument("--trace-out", type=str, default="",
                           help="spool the full trace to this .jsonl[.gz] path")
     scenario.add_argument("--profile", action="store_true",

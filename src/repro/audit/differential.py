@@ -427,6 +427,94 @@ def array_engine_violations(
     return violations
 
 
+def formation_violations(spec: ScenarioSpec) -> List[Violation]:
+    """The distributed-formation pair: event vs array, plus shape audit.
+
+    **Lossless leg** (both engines, ``formation="protocol"`` over
+    perfect links): the placement stream is shared and no loss draw is
+    consulted, so the six-round protocol must converge to the *same*
+    clustering on both engines -- the extracted
+    :class:`~repro.cluster.state.ClusterLayout` (clusters, deputies,
+    boundaries, unclustered set) and the FDS phase's verdict records
+    must be bit-identical, times included.
+
+    **Lossy leg** (array engine only, the spec's own loss model): the
+    engines draw formation loss from private streams, so under loss the
+    elected head sets legitimately diverge (which also re-deals the
+    faultload candidate list) and no cross-engine comparison is sound.
+    Instead the array outcome must satisfy the structural layout
+    invariants of :func:`~repro.sim.array_engine.formation.
+    formation_shape_violations`: heads marked and self-affiliated,
+    members in radio range of their confirmed head, forwarder ladders
+    within width and strictly NID-ascending, extraction round-trips
+    through ``ClusterLayout`` validation.
+    """
+    from repro.sim.array_engine.formation import (
+        formation_cluster_layout,
+        formation_shape_violations,
+    )
+
+    violations: List[Violation] = []
+
+    lossless = replace(spec, loss_kind="perfect")
+    event = run_scenario(
+        replace(lossless.to_config(engine="event"), formation="protocol")
+    )
+    array = run_scenario(
+        replace(lossless.to_config(engine="array"), formation="protocol")
+    )
+    layout = formation_cluster_layout(array.formation)
+    for field_name, got, want in (
+        ("clusters", layout.clusters, event.layout.clusters),
+        ("boundaries", layout.boundaries, event.layout.boundaries),
+        ("unclustered", layout.unclustered, event.layout.unclustered),
+    ):
+        if got != want:
+            violations.append(
+                Violation(
+                    kind="differential:formation",
+                    description=(
+                        f"lossless formation layouts diverged on "
+                        f"{field_name}: array {got!r} != event {want!r}"
+                    ),
+                )
+            )
+    if verdict_records(event.tracer) != verdict_records(array.tracer):
+        violations.append(
+            Violation(
+                kind="differential:formation",
+                description=(
+                    "verdict records diverged between engines after "
+                    "lossless protocol formation (must be bit-identical)"
+                ),
+            )
+        )
+    if event.properties.completeness != array.properties.completeness:
+        violations.append(
+            Violation(
+                kind="differential:formation",
+                description=(
+                    "completeness diverged after lossless protocol "
+                    f"formation: array {array.properties.completeness} "
+                    f"!= event {event.properties.completeness}"
+                ),
+            )
+        )
+
+    if spec.loss_kind != "perfect":
+        lossy = run_scenario(
+            replace(spec.to_config(engine="array"), formation="protocol")
+        )
+        violations.extend(
+            Violation(
+                kind="differential:formation",
+                description=f"lossy formation shape invariant broken: {v}",
+            )
+            for v in formation_shape_violations(lossy.formation)
+        )
+    return violations
+
+
 def energy_ledger_violations(spec: ScenarioSpec) -> List[Violation]:
     """The array energy ledger vs a scalar EnergyModel replay.
 
@@ -645,6 +733,7 @@ def check_spec(
     check_parallel: bool = True,
     check_probes: bool = True,
     check_array: bool = True,
+    check_formation: bool = True,
 ) -> List[Violation]:
     """Run every paired configuration and oracle; return all violations.
 
@@ -653,6 +742,7 @@ def check_spec(
     boundaries).  ``check_probes=False`` skips the directed forwarder
     probes (used by the shrinker, whose violations are end-to-end).
     ``check_array=False`` skips the array-engine equivalence pair.
+    ``check_formation=False`` skips the distributed-formation pair.
     """
     violations: List[Violation] = []
 
@@ -693,6 +783,8 @@ def check_spec(
     violations.extend(audit_violations(spec, ablated, "no-digests"))
     if check_array:
         violations.extend(array_engine_violations(spec, base))
+    if check_formation:
+        violations.extend(formation_violations(spec))
     if check_probes:
         violations.extend(probe_forwarder_conformance(spec))
     return violations

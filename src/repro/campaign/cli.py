@@ -78,7 +78,17 @@ def add_campaign_parser(sub: argparse._SubParsersAction) -> None:
     run.add_argument("--seed-base", type=int, default=1)
     run.add_argument("--engine", choices=("event", "array"), default="event",
                      help="scenario execution engine ('array' = round-level "
-                          "numpy engine; oracle formation only)")
+                          "numpy engine; both formation modes)")
+    run.add_argument("--formation", choices=("oracle", "protocol"),
+                     default="oracle",
+                     help="cluster formation: geometric oracle or the "
+                          "distributed six-round protocol")
+    run.add_argument("--formation-iterations", dest="formation_iterations",
+                     type=int, default=3,
+                     help="formation iterations (protocol formation only)")
+    run.add_argument("--formation-backoff", dest="formation_backoff",
+                     type=float, default=0.4,
+                     help="RCC declaration backoff bound in (0, 0.9]")
     _execution_knobs(run)
 
     resume = actions.add_parser(
@@ -126,6 +136,9 @@ def _plan_from_run_args(args: argparse.Namespace) -> CampaignPlan:
         crash_count=args.crashes,
         executions=args.executions,
         engine=args.engine,
+        formation=args.formation,
+        formation_iterations=args.formation_iterations,
+        formation_backoff_fraction=args.formation_backoff,
     )
     seeds = list(range(args.seed_base, args.seed_base + args.seeds))
     return scenario_repeat_plan(config, seeds)

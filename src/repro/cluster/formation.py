@@ -133,6 +133,12 @@ class FormationConfig:
     #: declaring (and conflicting) just because one iteration's head
     #: heartbeats were lost.
     declaration_patience: int = 2
+    #: Upper bound of the RCC declaration backoff as a fraction of a
+    #: round (see :func:`repro.cluster.rcc.declaration_backoff`).  Must
+    #: leave ``(1 - backoff_fraction) * thop`` of slack above the
+    #: medium's max one-hop delay so a backed-off declaration still
+    #: lands within its round.
+    backoff_fraction: float = 0.4
 
     #: Rounds per iteration (fixed by the protocol structure).
     ROUNDS_PER_ITERATION: int = field(default=6, init=False, repr=False)
@@ -143,6 +149,11 @@ class FormationConfig:
         check_int_at_least("deputy_count", self.deputy_count, 0)
         check_int_at_least("max_backups", self.max_backups, 0)
         check_int_at_least("declaration_patience", self.declaration_patience, 1)
+        if not 0.0 < self.backoff_fraction <= 0.9:
+            raise ClusteringError(
+                "backoff_fraction must be in (0, 0.9], got "
+                f"{self.backoff_fraction}"
+            )
 
     @property
     def iteration_duration(self) -> float:
@@ -247,7 +258,9 @@ class FormationProtocol(Protocol):
         # Qualified: lowest NID in the unmarked neighborhood heard.  Apply
         # the RCC backoff; a lower-NID declaration heard in the meantime
         # suppresses ours.
-        backoff = rcc.declaration_backoff(self._rng, self.config.thop)
+        backoff = rcc.declaration_backoff(
+            self._rng, self.config.thop, self.config.backoff_fraction
+        )
         self._pending_declaration = self.node.timers.after(
             backoff, self._fire_declaration
         )

@@ -54,6 +54,13 @@ class ScenarioConfig:
     #: ``"oracle"`` builds clusters geometrically; ``"protocol"`` runs the
     #: distributed formation over the lossy medium first.
     formation: str = "oracle"
+    #: Formation iterations (F4 has no termination rule; this is how many
+    #: six-round iterations the protocol runs).  Only used with
+    #: ``formation="protocol"``.
+    formation_iterations: int = 3
+    #: Upper bound of the RCC declaration backoff as a fraction of a
+    #: round (see :func:`repro.cluster.rcc.declaration_backoff`).
+    formation_backoff_fraction: float = 0.4
     track_energy: bool = False
     #: Radio hot-path selector; ``False`` runs the scalar reference loop
     #: (same seeded results bit-for-bit, only slower -- see sim/medium.py).
@@ -95,6 +102,13 @@ class ScenarioConfig:
             )
         if self.crash_count < 0:
             raise ExperimentError("crash_count must be >= 0")
+        if self.formation_iterations < 1:
+            raise ExperimentError("formation_iterations must be >= 1")
+        if not 0.0 < self.formation_backoff_fraction <= 0.9:
+            raise ExperimentError(
+                "formation_backoff_fraction must be in (0, 0.9], got "
+                f"{self.formation_backoff_fraction!r}"
+            )
         if self.executions < 1:
             raise ExperimentError("executions must be >= 1")
 
@@ -207,7 +221,11 @@ def run_scenario(
             layout = build_clusters(graph, max_backups=config.max_backups)
         fds_start = 0.0
     else:
-        formation_config = FormationConfig(thop=config.fds.thop)
+        formation_config = FormationConfig(
+            thop=config.fds.thop,
+            iterations=config.formation_iterations,
+            backoff_fraction=config.formation_backoff_fraction,
+        )
         layout = run_formation(network, formation_config)
         fds_start = network.sim.now + config.fds.thop
 

@@ -1,0 +1,873 @@
+"""Vectorized distributed cluster formation (Section 3) for the array engine.
+
+Runs the same six-round formation iteration as
+:mod:`repro.cluster.formation` -- R0 heartbeats, R1 lowest-NID CH
+declarations with RCC backoff, R2 join requests, R3 announcements and
+marking, R4 gateway candidacies, R5 boundary assignments, plus the RCC
+resign/dissolve repair -- as batched numpy array programs over flat
+node/edge arrays instead of per-node protocol objects and timers.
+
+Round synchrony
+---------------
+The event engine's formation is round-synchronous by construction as long
+as ``max_delay <= (1 - backoff_fraction) * thop``: every message sent at a
+round's start (and every backed-off declaration) is delivered, if not
+lost, before the next round fires.  The shipped
+:class:`~repro.sim.network.NetworkConfig` fixes ``max_delay = 0.1`` with
+``thop = 0.5`` and ``backoff_fraction = 0.4``, so the condition always
+holds and the per-event schedule collapses to the synchronous round model
+this module implements.
+
+Draw-order contract (engine-private, like the FDS rounds)
+---------------------------------------------------------
+All formation loss draws ride one chain family, ``"fm"``, shaped ``(E,)``
+over the canonical ``(src, dst)``-sorted directed edge list -- every
+formation message between two nodes is an attempt on that physical link,
+exactly the discipline the gilbert lift established for the FDS chains.
+Per iteration the draws are consumed in this fixed order:
+
+1. R0 heartbeats: one draw over all ``E`` edges;
+2. wave-A dissolve: one draw over the out-edges of heads resigning on a
+   lower-NID head heartbeat;
+3. R1 declarations: one draw over the out-edges of *all* qualified
+   nodes (the array engine draws before suppression resolves, so under
+   loss it consumes copies for declarations the event engine would have
+   suppressed -- an engine-private over-draw; under lossless channels
+   qualified nodes are pairwise non-adjacent and all of them fire, so
+   transmissions and deliveries match the event engine exactly);
+4. wave-B dissolve: heads resigning on a lower-NID declaration;
+5. R2 join requests: one draw over the joiner->target edges;
+6. R3 announcements: one draw over the heads' out-edges;
+7. wave-C dissolve: heads resigning on a lower-NID announcement;
+8. R4 candidacies: one draw over the member->own-CH edges;
+9. R5 boundary assignments: one broadcast per (head, peer) pair --
+   non-gilbert kinds consume one flat block of ``sum(deg(head) *
+   groups(head))`` copies, gilbert advances each head's out-edge chains
+   once per assignment broadcast.
+
+Backoff draws come from a dedicated ``stream("array", "formation")``
+generator, one uniform per qualified node in NID order (the event engine
+draws from per-node streams; backoffs only break declaration ties between
+*adjacent* qualified nodes, which cannot exist under lossless channels).
+
+Engine-private approximations (all invisible under lossless channels,
+where the resulting :class:`~repro.cluster.state.ClusterLayout` is
+bit-identical to :func:`repro.cluster.formation.run_formation`):
+
+- declaration suppression ignores per-copy delivery *delay*: a delivered
+  lower-NID declaration with an earlier backoff always suppresses;
+- a node inside two announced member lists (possible only after a lost
+  announcement) confirms to the lowest announcing head rather than the
+  last-arriving announcement;
+- a wave-C resigner never confirms into another cluster in the same
+  iteration (the event engine's outcome depends on announcement arrival
+  order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.cluster.formation import FormationConfig
+from repro.cluster.state import Boundary, Cluster, ClusterLayout
+from repro.sim.array_engine.loss import ArrayLossDraw
+
+#: Pad value for "no node" entries (matches layout.PAD).
+PAD = -1
+
+#: Chain family name for all formation draws (see module docstring).
+FORMATION_CHAIN = "fm"
+
+_BIG = np.iinfo(np.int64).max
+
+
+# ----------------------------------------------------------------------
+# Unit-disk edge set
+# ----------------------------------------------------------------------
+
+
+class UnitDiskEdges:
+    """The directed unit-disk edge list of a field, in canonical order.
+
+    Edges are every ordered pair ``(src, dst)`` with ``src != dst`` and
+    ``hypot(dx, dy) <= radius``, sorted by ``(src, dst)``.  The set is
+    symmetric; :attr:`rev` maps each edge to its reverse.  Built by grid
+    binning with cell size ``radius`` (9 neighboring cells are exhaustive
+    for any positions), chunked so candidate-pair blocks stay bounded.
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        dist: np.ndarray,
+    ) -> None:
+        self.node_count = int(node_count)
+        self.src = src
+        self.dst = dst
+        self.dist = dist
+        self.edge_count = int(src.size)
+        n, e = self.node_count, self.edge_count
+        counts = np.bincount(src, minlength=n) if e else np.zeros(n, np.int64)
+        self.out_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.out_indptr[1:])
+        # Edges sorted by (dst, src).  By symmetry of the edge set this
+        # permutation is an involution and doubles as the reverse-edge
+        # map: the j-th edge in (dst, src) order carries the pair
+        # (dst=s_j, src=d_j), i.e. it *is* the reverse of canonical edge
+        # j, so rev[j] = perm[j] and in-edge segments of a node list its
+        # sources in ascending order.
+        if e:
+            perm = np.lexsort((src, dst))
+        else:
+            perm = np.zeros(0, dtype=np.int64)
+        self.rev = perm
+        self.in_order = perm
+        in_counts = np.bincount(dst, minlength=n) if e else np.zeros(n, np.int64)
+        self.in_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(in_counts, out=self.in_indptr[1:])
+        #: Nodes with in-degree > 0 (reduceat must skip empty segments:
+        #: clipping offsets would corrupt the segment *before* a run of
+        #: trailing empties, so reductions only ever see these).
+        self._nz = np.flatnonzero(in_counts > 0)
+
+    def out_slice(self, node: int) -> slice:
+        return slice(int(self.out_indptr[node]), int(self.out_indptr[node + 1]))
+
+    def first_flagged_in_edge(self, flags: np.ndarray) -> np.ndarray:
+        """Per node, the flagged in-edge with the lowest source NID.
+
+        ``flags`` is an ``(E,)`` bool mask; returns an ``(N,)`` int64
+        array of edge indices, ``-1`` where no in-edge is flagged.
+        In-edge segments are src-ascending, so the first flagged position
+        in a segment is the minimum-NID sender -- exactly the
+        ``min(heard)`` / ``any(h < my_id)`` reductions of the event
+        protocol.
+        """
+        out = np.full(self.node_count, -1, dtype=np.int64)
+        if self.edge_count == 0 or self._nz.size == 0:
+            return out
+        e = self.edge_count
+        vals = np.where(flags[self.in_order], np.arange(e, dtype=np.int64), e)
+        mins = np.minimum.reduceat(vals, self.in_indptr[self._nz])
+        hit = mins < e
+        pos = np.minimum(mins, e - 1)
+        out[self._nz] = np.where(hit, self.in_order[pos], -1)
+        return out
+
+    def min_flagged_src(self, flags: np.ndarray) -> np.ndarray:
+        """Per node, the lowest source NID among flagged in-edges.
+
+        ``_BIG`` where no in-edge is flagged.
+        """
+        first = self.first_flagged_in_edge(flags)
+        if self.edge_count == 0:
+            return np.full(self.node_count, _BIG, dtype=np.int64)
+        return np.where(first >= 0, self.src[np.maximum(first, 0)], _BIG)
+
+
+def build_unit_disk_edges(
+    xs: np.ndarray, ys: np.ndarray, radius: float
+) -> UnitDiskEdges:
+    """Build the canonical directed unit-disk edge list of a field."""
+    n = int(xs.size)
+    if n <= 1:
+        empty = np.zeros(0, dtype=np.int64)
+        return UnitDiskEdges(n, empty, empty.copy(), np.zeros(0, np.float64))
+    inv = 1.0 / float(radius)
+    cx = np.floor(xs * inv).astype(np.int64)
+    cy = np.floor(ys * inv).astype(np.int64)
+    cx -= cx.min()
+    cy -= cy.min()
+    stride = int(cx.max()) + 2
+    key = cy * stride + cx
+    order = np.argsort(key, kind="stable")
+    skey = key[order]
+    max_cell = int(np.bincount(key - key.min()).max()) if n else 1
+    chunk = max(1, int(8_000_000 // max(1, 9 * max_cell)))
+    r2 = float(radius) * float(radius)
+    ids = np.arange(n, dtype=np.int64)
+    src_parts: List[np.ndarray] = []
+    dst_parts: List[np.ndarray] = []
+    offsets = [(dy, dx) for dy in (-1, 0, 1) for dx in (-1, 0, 1)]
+    for lo in range(0, n, chunk):
+        hi = min(n, lo + chunk)
+        sub = ids[lo:hi]
+        kk = key[lo:hi]
+        for dy, dx in offsets:
+            nkey = kk + dy * stride + dx
+            left = np.searchsorted(skey, nkey, side="left")
+            right = np.searchsorted(skey, nkey, side="right")
+            cnt = right - left
+            tot = int(cnt.sum())
+            if tot == 0:
+                continue
+            src_r = np.repeat(sub, cnt)
+            cum = np.cumsum(cnt) - cnt
+            pos = (
+                np.arange(tot, dtype=np.int64)
+                - np.repeat(cum, cnt)
+                + np.repeat(left, cnt)
+            )
+            dst_r = order[pos]
+            ddx = xs[src_r] - xs[dst_r]
+            ddy = ys[src_r] - ys[dst_r]
+            keep = (src_r != dst_r) & (ddx * ddx + ddy * ddy <= r2)
+            if keep.any():
+                src_parts.append(src_r[keep])
+                dst_parts.append(dst_r[keep])
+    if src_parts:
+        src = np.concatenate(src_parts)
+        dst = np.concatenate(dst_parts)
+        order_e = np.lexsort((dst, src))
+        src = src[order_e]
+        dst = dst[order_e]
+    else:
+        src = np.zeros(0, dtype=np.int64)
+        dst = np.zeros(0, dtype=np.int64)
+    dist = np.hypot(xs[src] - xs[dst], ys[src] - ys[dst])
+    return UnitDiskEdges(n, src, dst, dist)
+
+
+# ----------------------------------------------------------------------
+# Formation state and outcome
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FormationOutcome:
+    """Converged per-node formation state, plus field geometry.
+
+    The array twin of the event engine's ``Dict[NodeId,
+    FormationProtocol]`` after :func:`run_formation` parks the clock:
+    everything :func:`repro.cluster.formation.extract_layout` reads is
+    here as flat arrays.
+    """
+
+    config: FormationConfig
+    node_count: int
+    radius: float
+    xs: np.ndarray
+    ys: np.ndarray
+    edges: UnitDiskEdges
+    is_head: np.ndarray
+    marked: np.ndarray
+    conf_head: np.ndarray
+    #: ``(N, D)`` announced deputy NIDs per head row, ``PAD``-padded.
+    ann_deputies: np.ndarray
+    #: head NID -> peer head NID -> ranked forwarder NIDs (R5 state).
+    boundary_asn: Dict[int, Dict[int, Tuple[int, ...]]]
+    #: Formation message sends (one per broadcast/unicast, any fan-out).
+    transmissions: int
+
+    def head_ids(self) -> np.ndarray:
+        """Sorted NIDs of the surviving clusterheads."""
+        return np.flatnonzero(self.is_head)
+
+
+class _State:
+    """Durable per-node / per-edge protocol state across iterations."""
+
+    def __init__(self, n: int, config: FormationConfig, e: int) -> None:
+        self.marked = np.zeros(n, dtype=bool)
+        self.is_head = np.zeros(n, dtype=bool)
+        self.conf_head = np.full(n, PAD, dtype=np.int64)
+        #: Edge index of (conf_head -> me); rev of it is my unicast path.
+        self.conf_edge = np.full(n, PAD, dtype=np.int64)
+        #: Iterations in a row with no head heard (starts at patience so
+        #: iteration 1 may declare, like the event protocol).
+        self.no_head = np.full(n, config.declaration_patience, dtype=np.int64)
+        #: (head -> member) edges whose join request was accepted; the
+        #: head-side ``_members`` set, durable until the head resigns.
+        self.joined = np.zeros(e, dtype=bool)
+        self.ann_deputies = np.full(
+            (n, config.deputy_count), PAD, dtype=np.int64
+        )
+        self.boundary_asn: Dict[int, Dict[int, Tuple[int, ...]]] = {}
+        self.transmissions = 0
+
+
+def _dissolve(
+    st: _State,
+    edges: UnitDiskEdges,
+    loss: ArrayLossDraw,
+    resign: np.ndarray,
+) -> None:
+    """Resigning heads broadcast ClusterDissolve and become unmarked."""
+    resign_idx = np.flatnonzero(resign)
+    if resign_idx.size == 0:
+        return
+    dis = loss.draw_into(
+        resign[edges.src], distances=edges.dist, chain=FORMATION_CHAIN
+    )
+    st.transmissions += int(resign_idx.size)
+    # Receivers affiliated with a resigner release their membership
+    # (heads never do: their confirmed head is themselves).
+    hit = dis & (st.conf_head[edges.dst] == edges.src) & ~st.is_head[edges.dst]
+    victims = np.unique(edges.dst[hit])
+    st.marked[victims] = False
+    st.conf_head[victims] = PAD
+    st.conf_edge[victims] = PAD
+    # The resigners themselves clear all head state (the event engine's
+    # _become_unmarked, which preserves the patience counter).
+    st.is_head[resign_idx] = False
+    st.marked[resign_idx] = False
+    st.conf_head[resign_idx] = PAD
+    st.conf_edge[resign_idx] = PAD
+    st.ann_deputies[resign_idx] = PAD
+    for h in resign_idx:
+        st.joined[edges.out_slice(int(h))] = False
+        st.boundary_asn.pop(int(h), None)
+
+
+def _resolve_declarations(
+    q: np.ndarray,
+    sup_src: np.ndarray,
+    sup_dst: np.ndarray,
+    n: int,
+) -> np.ndarray:
+    """Which qualified nodes actually fire their declaration.
+
+    ``sup_*`` are the suppression edges: a delivered declaration from a
+    lower-NID, earlier-backoff qualified neighbor.  A node fires iff no
+    suppression edge from a *firing* node reaches it -- the same fixpoint
+    the event engine's backoff timers resolve, computed Luby-style.  The
+    suppression graph is a DAG (backoffs strictly decrease along edges),
+    so every pass decides at least one node.
+    """
+    fired = np.zeros(n, dtype=bool)
+    undecided = q.copy()
+    while undecided.any():
+        in_f = np.zeros(n, dtype=bool)
+        in_f[sup_dst[fired[sup_src]]] = True
+        in_u = np.zeros(n, dtype=bool)
+        in_u[sup_dst[undecided[sup_src]]] = True
+        newly_sup = undecided & in_f
+        newly_fired = undecided & ~in_f & ~in_u
+        progressed = newly_sup | newly_fired
+        if not progressed.any():  # pragma: no cover - DAG guarantees progress
+            raise AssertionError("declaration fixpoint stalled (engine bug)")
+        fired |= newly_fired
+        undecided &= ~progressed
+    return fired
+
+
+def _run_iteration(
+    st: _State,
+    edges: UnitDiskEdges,
+    config: FormationConfig,
+    loss: ArrayLossDraw,
+    backoff_rng: np.random.Generator,
+) -> None:
+    """One six-round formation iteration (see module docstring)."""
+    n = edges.node_count
+    src, dst, dist = edges.src, edges.dst, edges.dist
+    ids = np.arange(n, dtype=np.int64)
+
+    # -- R0: heartbeats (flags snapshot the sender's state at send time).
+    marked0 = st.marked.copy()
+    head0 = st.is_head.copy()
+    hb = loss.draw_into(
+        np.ones(edges.edge_count, dtype=bool),
+        distances=dist,
+        chain=FORMATION_CHAIN,
+    )
+    st.transmissions += n
+    heard_unmarked_e = hb & ~marked0[src]
+    heard_head_e = hb & head0[src]
+    head_min = edges.min_flagged_src(heard_head_e)
+
+    # -- wave A: heads hearing a lower-NID head heartbeat resign.
+    _dissolve(st, edges, loss, st.is_head & (head_min < ids))
+
+    # -- R1: patience accounting (unmarked nodes only), qualification,
+    # backoff, declaration broadcast, and suppression fixpoint.
+    unmarked = ~st.marked
+    has_head = head_min < _BIG
+    st.no_head[unmarked & has_head] = 0
+    st.no_head[unmarked & ~has_head] += 1
+    unmarked_min = edges.min_flagged_src(heard_unmarked_e)
+    q = (
+        unmarked
+        & (unmarked_min > ids)
+        & (head_min > ids)
+        & (st.no_head >= config.declaration_patience)
+    )
+    q_idx = np.flatnonzero(q)
+    backoff = np.full(n, np.inf)
+    if q_idx.size:
+        backoff[q_idx] = backoff_rng.uniform(
+            0.0, config.backoff_fraction * config.thop, q_idx.size
+        )
+    dec_raw = loss.draw_into(q[src], distances=dist, chain=FORMATION_CHAIN)
+    sup = dec_raw & q[dst] & (src < dst) & (backoff[src] < backoff[dst])
+    fired = _resolve_declarations(q, src[sup], dst[sup], n)
+    fired_idx = np.flatnonzero(fired)
+    st.is_head[fired_idx] = True
+    st.marked[fired_idx] = True
+    st.conf_head[fired_idx] = fired_idx
+    st.conf_edge[fired_idx] = PAD
+    st.transmissions += int(fired_idx.size)
+    dec_e = dec_raw & fired[src]
+    dec_min = edges.min_flagged_src(dec_e)
+
+    # -- wave B: heads hearing a lower-NID declaration resign (their
+    # released members, and the resigners themselves, may join in R2).
+    _dissolve(st, edges, loss, st.is_head & (dec_min < ids))
+
+    # -- R2: unmarked nodes join the lowest-NID head they heard; the
+    # target accepts only if it is (still) a head at receipt.
+    avail_e = dec_e | heard_head_e
+    target_in_edge = edges.first_flagged_in_edge(avail_e)
+    joiners = ~st.marked & (target_in_edge >= 0)
+    joiner_idx = np.flatnonzero(joiners)
+    join_active = np.zeros(edges.edge_count, dtype=bool)
+    if joiner_idx.size:
+        join_active[edges.rev[target_in_edge[joiner_idx]]] = True
+    jn = loss.draw_into(join_active, distances=dist, chain=FORMATION_CHAIN)
+    st.transmissions += int(joiner_idx.size)
+    if joiner_idx.size:
+        e_t = target_in_edge[joiner_idx]
+        accepted = jn[edges.rev[e_t]] & st.is_head[src[e_t]]
+        st.joined[e_t[accepted]] = True
+
+    # -- R3: every head announces its member list; members confirm, heads
+    # hearing a lower head's announcement resign (wave C, after the
+    # confirms -- see the module docstring's approximation notes).
+    head_idx = np.flatnonzero(st.is_head)
+    if config.deputy_count:
+        st.ann_deputies[head_idx] = PAD
+        j_edges = np.flatnonzero(st.joined & st.is_head[src])
+        if j_edges.size:
+            j_src = src[j_edges]
+            starts = np.searchsorted(j_src, head_idx, side="left")
+            ends = np.searchsorted(j_src, head_idx, side="right")
+            for k in range(config.deputy_count):
+                take = starts + k < ends
+                pos = np.minimum(starts + k, j_edges.size - 1)
+                st.ann_deputies[head_idx, k] = np.where(
+                    take, dst[j_edges[pos]], PAD
+                )
+    ann = loss.draw_into(
+        st.is_head[src], distances=dist, chain=FORMATION_CHAIN
+    )
+    st.transmissions += int(head_idx.size)
+    conf_e = edges.first_flagged_in_edge(ann & st.joined)
+    confirm = (conf_e >= 0) & ~st.is_head
+    confirm_idx = np.flatnonzero(confirm)
+    if confirm_idx.size:
+        ce = conf_e[confirm_idx]
+        st.conf_head[confirm_idx] = src[ce]
+        st.conf_edge[confirm_idx] = ce
+        st.marked[confirm_idx] = True
+    heard_head_e = heard_head_e | ann
+    ann_min = edges.min_flagged_src(ann)
+    _dissolve(st, edges, loss, st.is_head & (ann_min < ids))
+
+    # -- R4: confirmed members that heard foreign heads send one
+    # candidacy to their own CH; the CH accepts from current members.
+    foreign_e = avail_e | heard_head_e
+    foreign_e = foreign_e & (src != st.conf_head[dst])
+    has_foreign = edges.first_flagged_in_edge(foreign_e) >= 0
+    senders = ~st.is_head & (st.conf_head != PAD) & has_foreign
+    sender_idx = np.flatnonzero(senders)
+    cand_active = np.zeros(edges.edge_count, dtype=bool)
+    if sender_idx.size:
+        cand_active[edges.rev[st.conf_edge[sender_idx]]] = True
+    cd = loss.draw_into(cand_active, distances=dist, chain=FORMATION_CHAIN)
+    st.transmissions += int(sender_idx.size)
+    accepted_s = np.zeros(n, dtype=bool)
+    if sender_idx.size:
+        ce = st.conf_edge[sender_idx]
+        ok = (
+            cd[edges.rev[ce]]
+            & st.is_head[st.conf_head[sender_idx]]
+            & st.joined[ce]
+        )
+        accepted_s[sender_idx[ok]] = True
+
+    # -- R5: each head ranks this iteration's candidates per foreign
+    # peer and broadcasts one BoundaryAssignment per (head, peer) pair.
+    tri_e = np.flatnonzero(foreign_e & accepted_s[dst])
+    group_counts = np.zeros(n, dtype=np.int64)
+    if tri_e.size:
+        tri_head = st.conf_head[dst[tri_e]]
+        tri_peer = src[tri_e]
+        tri_cand = dst[tri_e]
+        order5 = np.lexsort((tri_cand, tri_peer, tri_head))
+        tri_head = tri_head[order5]
+        tri_peer = tri_peer[order5]
+        tri_cand = tri_cand[order5]
+        new_group = np.ones(tri_e.size, dtype=bool)
+        new_group[1:] = (tri_head[1:] != tri_head[:-1]) | (
+            tri_peer[1:] != tri_peer[:-1]
+        )
+        starts = np.flatnonzero(new_group)
+        bounds = np.append(starts, tri_e.size)
+        width = 1 + config.max_backups
+        for gi in range(starts.size):
+            lo, hi = int(bounds[gi]), int(bounds[gi + 1])
+            h = int(tri_head[lo])
+            peer = int(tri_peer[lo])
+            ranked = tuple(int(c) for c in tri_cand[lo : lo + min(hi - lo, width)])
+            st.boundary_asn.setdefault(h, {})[peer] = ranked
+            group_counts[h] += 1
+        st.transmissions += int(starts.size)
+    # Assignment delivery draws (receiver-side duties are not part of the
+    # extracted layout, but copies must be accounted and chains advanced).
+    assigning = np.flatnonzero(group_counts > 0)
+    if assigning.size:
+        if loss.kind == "gilbert":
+            for h in assigning:
+                sl = edges.out_slice(int(h))
+                deg = sl.stop - sl.start
+                if deg == 0:
+                    continue
+                for _ in range(int(group_counts[h])):
+                    loss.draw_into(
+                        np.ones(deg, dtype=bool),
+                        distances=dist[sl],
+                        chain=FORMATION_CHAIN,
+                        at=sl,
+                    )
+        else:
+            blocks = [
+                np.tile(
+                    dist[edges.out_slice(int(h))], int(group_counts[h])
+                )
+                for h in assigning
+            ]
+            flat = np.concatenate(blocks) if blocks else np.zeros(0)
+            if flat.size:
+                loss.delivered(int(flat.size), distances=flat)
+
+
+def run_array_formation(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    radius: float,
+    config: FormationConfig,
+    loss: ArrayLossDraw,
+    backoff_rng: np.random.Generator,
+) -> FormationOutcome:
+    """Run the full formation protocol over a field, vectorized.
+
+    ``loss`` is the run's shared :class:`ArrayLossDraw` (formation and
+    FDS draws ride the same engine-private stream, in program order);
+    ``backoff_rng`` supplies the RCC backoff uniforms (NID order).
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    edges = build_unit_disk_edges(xs, ys, radius)
+    loss.ensure_chain(FORMATION_CHAIN, (edges.edge_count,))
+    st = _State(int(xs.size), config, edges.edge_count)
+    for _ in range(config.iterations):
+        _run_iteration(st, edges, config, loss, backoff_rng)
+    return FormationOutcome(
+        config=config,
+        node_count=int(xs.size),
+        radius=float(radius),
+        xs=xs,
+        ys=ys,
+        edges=edges,
+        is_head=st.is_head,
+        marked=st.marked,
+        conf_head=st.conf_head,
+        ann_deputies=st.ann_deputies,
+        boundary_asn=st.boundary_asn,
+        transmissions=st.transmissions,
+    )
+
+
+# ----------------------------------------------------------------------
+# Layout extraction
+# ----------------------------------------------------------------------
+
+
+def formation_cluster_layout(outcome: FormationOutcome) -> ClusterLayout:
+    """Build a :class:`ClusterLayout` from converged array state.
+
+    An exact mirror of :func:`repro.cluster.formation.extract_layout`:
+    affiliation comes from each member's own confirmed head, deputies are
+    the head's announced list filtered to affiliated members, boundary
+    forwarders are filtered to affiliated members with at least one
+    usable forwarder.
+    """
+    heads = [int(h) for h in np.flatnonzero(outcome.is_head)]
+    head_set = set(heads)
+    affiliation: Dict[int, int] = {}
+    for h in heads:
+        affiliation[h] = h
+    conf = outcome.conf_head
+    member_idx = np.flatnonzero(
+        ~outcome.is_head & (conf != PAD)
+    )
+    for m in member_idx:
+        h = int(conf[m])
+        if h in head_set:
+            affiliation[int(m)] = h
+
+    preimage: Dict[int, List[int]] = {h: [] for h in heads}
+    for nid, h in affiliation.items():
+        if nid != h:
+            preimage[h].append(nid)
+
+    clusters: List[Cluster] = []
+    for h in heads:
+        members = frozenset(preimage[h]) | {h}
+        deputies = tuple(
+            int(d)
+            for d in outcome.ann_deputies[h]
+            if d != PAD and int(d) in members
+        )
+        clusters.append(Cluster(head=h, members=members, deputies=deputies))
+
+    boundaries: List[Boundary] = []
+    for h in heads:
+        for peer, forwarders in sorted(
+            outcome.boundary_asn.get(h, {}).items()
+        ):
+            if peer not in head_set:
+                continue
+            usable = tuple(
+                f for f in forwarders if affiliation.get(f) == h
+            )
+            if not usable:
+                continue
+            boundaries.append(
+                Boundary(
+                    owner=h,
+                    peer=peer,
+                    gateway=usable[0],
+                    backups=usable[1:],
+                )
+            )
+
+    unclustered = [
+        int(nid) for nid in range(outcome.node_count) if nid not in affiliation
+    ]
+    return ClusterLayout(
+        clusters=clusters, boundaries=boundaries, unclustered=unclustered
+    )
+
+
+def formation_array_layout(
+    outcome: FormationOutcome,
+    keep_pair_dist: bool = False,
+) -> "ArrayLayout":
+    """Re-express a formation outcome as an :class:`ArrayLayout`.
+
+    The protocol twin of :func:`~repro.sim.array_engine.layout.
+    build_array_layout`: heads carry arbitrary NIDs (``head_ids`` maps
+    cluster index -> head NID), members are the affiliated non-head
+    nodes (NID-ascending slots), deputies are the announced list
+    filtered to members, and boundaries come from the R5 assignments
+    filtered exactly like :func:`formation_cluster_layout`.  Unclustered
+    nodes get ``assign == PAD`` and occupy no member slot.
+    """
+    from repro.sim.array_engine.layout import (
+        ArrayLayout,
+        _fill_adjacency,
+    )
+
+    n = outcome.node_count
+    xs, ys = outcome.xs, outcome.ys
+    head_ids = np.flatnonzero(outcome.is_head).astype(np.int64)
+    c = int(head_ids.size)
+    cl_of = np.full(n, PAD, dtype=np.int64)
+    cl_of[head_ids] = np.arange(c, dtype=np.int64)
+
+    assign = np.full(n, PAD, dtype=np.int64)
+    assign[head_ids] = np.arange(c, dtype=np.int64)
+    conf = outcome.conf_head
+    is_member = ~outcome.is_head & (conf != PAD)
+    member_nids = np.flatnonzero(is_member)
+    if member_nids.size:
+        conf_cl = cl_of[conf[member_nids]]
+        ok = conf_cl != PAD
+        member_nids = member_nids[ok]
+        assign[member_nids] = conf_cl[ok]
+
+    counts = (
+        np.bincount(assign[member_nids], minlength=c).astype(np.int64)
+        if member_nids.size
+        else np.zeros(c, dtype=np.int64)
+    )
+    max_m = int(counts.max()) if c and counts.size else 0
+    members = np.full((c, max_m), PAD, dtype=np.int64)
+    member_mask = np.zeros((c, max_m), dtype=bool)
+    if member_nids.size:
+        order = np.argsort(assign[member_nids], kind="stable")
+        sorted_ids = member_nids[order]
+        sorted_cl = assign[member_nids][order]
+        starts = np.zeros(c + 1, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+        slot = np.arange(sorted_ids.size, dtype=np.int64) - starts[sorted_cl]
+        members[sorted_cl, slot] = sorted_ids
+        member_mask[sorted_cl, slot] = True
+
+    safe = np.where(members >= 0, members, 0)
+    px = np.where(member_mask, xs[safe], np.nan)
+    py = np.where(member_mask, ys[safe], np.nan)
+    hx = xs[head_ids] if c else np.zeros(0)
+    hy = ys[head_ids] if c else np.zeros(0)
+    head_dx = px - hx[:, None]
+    head_dy = py - hy[:, None]
+    head_dist = np.where(
+        member_mask, np.sqrt(head_dx * head_dx + head_dy * head_dy), np.inf
+    )
+
+    adjacency = np.zeros((c, max_m, max_m), dtype=bool)
+    with np.errstate(invalid="ignore"):
+        pair_dist = _fill_adjacency(
+            adjacency, px, py, member_mask, outcome.radius,
+            keep_dist=keep_pair_dist,
+        )
+
+    config = outcome.config
+    d_count = config.deputy_count
+    deputies = np.full((c, d_count), PAD, dtype=np.int64)
+    deputy_slots = np.full((c, d_count), PAD, dtype=np.int64)
+    for ci, h in enumerate(head_ids):
+        row = members[ci]
+        row_count = int(counts[ci])
+        k = 0
+        for d in outcome.ann_deputies[int(h)]:
+            if d == PAD or k >= d_count:
+                continue
+            if assign[d] != ci or outcome.is_head[d]:
+                continue
+            slot = int(np.searchsorted(row[:row_count], d))
+            if slot < row_count and row[slot] == d:
+                deputies[ci, k] = int(d)
+                deputy_slots[ci, k] = slot
+                k += 1
+
+    gw_count = 1 + config.max_backups
+    b_owner: List[int] = []
+    b_peer: List[int] = []
+    b_slots: List[np.ndarray] = []
+    for ci, h in enumerate(head_ids):
+        row = members[ci]
+        row_count = int(counts[ci])
+        for peer, forwarders in sorted(
+            outcome.boundary_asn.get(int(h), {}).items()
+        ):
+            pc = cl_of[peer] if 0 <= peer < n else PAD
+            if pc == PAD:
+                continue
+            slots = np.full(gw_count, PAD, dtype=np.int64)
+            k = 0
+            for f in forwarders:
+                if assign[f] != ci or outcome.is_head[f]:
+                    continue
+                slot = int(np.searchsorted(row[:row_count], f))
+                if slot < row_count and row[slot] == f:
+                    slots[k] = slot
+                    k += 1
+            if k == 0:
+                continue
+            b_owner.append(ci)
+            b_peer.append(int(pc))
+            b_slots.append(slots)
+    if b_owner:
+        boundary_owner = np.asarray(b_owner, dtype=np.int64)
+        boundary_peer = np.asarray(b_peer, dtype=np.int64)
+        boundary_gateway_slots = np.stack(b_slots)
+    else:
+        boundary_owner = np.zeros(0, dtype=np.int64)
+        boundary_peer = np.zeros(0, dtype=np.int64)
+        boundary_gateway_slots = np.zeros((0, gw_count), dtype=np.int64)
+
+    return ArrayLayout(
+        cluster_count=c,
+        node_count=n,
+        radius=outcome.radius,
+        xs=xs,
+        ys=ys,
+        assign=assign,
+        members=members,
+        member_mask=member_mask,
+        member_counts=counts,
+        adjacency=adjacency,
+        head_dist=head_dist,
+        deputies=deputies,
+        deputy_slots=deputy_slots,
+        boundary_owner=boundary_owner,
+        boundary_peer=boundary_peer,
+        boundary_gateway_slots=boundary_gateway_slots,
+        pair_dist=pair_dist,
+        head_ids=head_ids,
+    )
+
+
+# ----------------------------------------------------------------------
+# Layout-shape audit (the lossy leg of differential:formation)
+# ----------------------------------------------------------------------
+
+
+def formation_shape_violations(outcome: FormationOutcome) -> List[str]:
+    """Structural invariants any formation outcome must satisfy.
+
+    Used by the ``differential:formation`` soak pair on lossy runs,
+    where bit-identity with the event engine is not claimed but the
+    paper's layout-shape guarantees still must hold.
+    """
+    violations: List[str] = []
+    heads = np.flatnonzero(outcome.is_head)
+    head_set = {int(h) for h in heads}
+
+    if not np.all(outcome.marked[heads]):
+        violations.append("head not marked")
+    if heads.size and not np.all(
+        outcome.conf_head[heads] == heads
+    ):
+        violations.append("head not self-affiliated")
+    unmarked = np.flatnonzero(~outcome.marked)
+    if unmarked.size and np.any(outcome.conf_head[unmarked] != PAD):
+        violations.append("unmarked node with a confirmed head")
+
+    # Members must be within radio range of their confirmed head.
+    conf = outcome.conf_head
+    member_idx = np.flatnonzero(~outcome.is_head & (conf != PAD))
+    if member_idx.size:
+        dx = outcome.xs[member_idx] - outcome.xs[conf[member_idx]]
+        dy = outcome.ys[member_idx] - outcome.ys[conf[member_idx]]
+        far = dx * dx + dy * dy > outcome.radius * outcome.radius
+        if np.any(far):
+            violations.append(
+                f"member out of head range: {member_idx[far][:5].tolist()}"
+            )
+
+    width = 1 + outcome.config.max_backups
+    for h, per_peer in outcome.boundary_asn.items():
+        for peer, forwarders in per_peer.items():
+            if len(forwarders) > width:
+                violations.append(
+                    f"forwarder ladder too long on {h}->{peer}"
+                )
+            if list(forwarders) != sorted(set(forwarders)):
+                violations.append(
+                    f"forwarder ladder not strictly ascending on {h}->{peer}"
+                )
+
+    # The extracted ClusterLayout must pass the paper's structural
+    # validation (exactly-one affiliation, deputies/forwarders members
+    # of their cluster, head in its own member set).
+    try:
+        layout = formation_cluster_layout(outcome)
+    except Exception as exc:  # ClusteringError and anything else
+        violations.append(f"layout extraction failed: {exc!r}")
+        return violations
+    clustered = set()
+    for cluster in layout.clusters.values():
+        clustered |= set(cluster.members)
+    if clustered & set(layout.unclustered):
+        violations.append("node both clustered and unclustered")
+    if set(layout.clusters) != head_set:
+        violations.append("extracted heads disagree with is_head flags")
+    return violations

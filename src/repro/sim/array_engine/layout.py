@@ -80,10 +80,22 @@ class ArrayLayout:
     #: ``(C, M, M)`` member<->member distances (only materialized for
     #: distance-dependent loss models).
     pair_dist: Optional[np.ndarray] = None
+    #: Cluster index -> head NID.  ``None`` means the oracle lattice
+    #: identity (head ``c`` carries NID ``c``); protocol-formed layouts
+    #: (:func:`~repro.sim.array_engine.formation.formation_array_layout`)
+    #: carry arbitrary head NIDs here.
+    head_ids: Optional[np.ndarray] = None
 
     @property
     def max_members(self) -> int:
         return int(self.members.shape[1])
+
+    @property
+    def head_nids(self) -> np.ndarray:
+        """Cluster index -> head NID, defaulting to the lattice identity."""
+        if self.head_ids is not None:
+            return self.head_ids
+        return np.arange(self.cluster_count, dtype=np.int64)
 
     def slot_of(self, node_id: int) -> tuple:
         """``(cluster, slot)`` of a member NID (linear scan; test helper)."""
@@ -189,6 +201,33 @@ def _fill_adjacency(
             dist[lo:hi] = np.sqrt(d2).astype(np.float32)
         del dx, dy, d2, adj
     return dist
+
+
+def lattice_positions(
+    cluster_count: int,
+    members_per_cluster: int,
+    radius: float,
+    rng: np.random.Generator,
+    spacing_factor: float = 1.6,
+) -> tuple:
+    """``(xs, ys)`` of the whole lattice field, heads first.
+
+    Bit-identical to :func:`~repro.topology.generators.
+    multi_cluster_field` under the same ``stream("placement")``
+    generator -- the coordinate source for protocol formation, which
+    needs raw positions rather than the oracle's pre-assigned layout.
+    """
+    if not 1.0 < spacing_factor < 2.0:
+        raise TopologyError(
+            "spacing_factor must be in (1, 2) so disks overlap without "
+            f"CHs being mutual neighbors; got {spacing_factor}"
+        )
+    cols = max(1, int(math.ceil(math.sqrt(cluster_count))))
+    spacing = spacing_factor * radius
+    hx, hy, mx, my = _member_positions(
+        cluster_count, members_per_cluster, radius, spacing, cols, rng
+    )
+    return np.concatenate([hx, mx]), np.concatenate([hy, my])
 
 
 def build_array_layout(

@@ -31,9 +31,11 @@ Gilbert chain contract (engine-private, like the draw order itself):
   one entry per directed link the engine models: ``"mc"`` member ->
   own-CH, ``"cm"`` own-CH -> member, ``"mm"`` member -> clustermate,
   ``"over"`` source-CH -> gateway overhear, ``"rep"`` gateway ->
-  destination-CH report.  Draw sites that reuse a physical link reuse
-  its family entry (heartbeats, digests, updates, peer traffic, relays
-  all ride the same ``mc``/``cm``/``mm`` chains);
+  destination-CH report, and ``"fm"`` the per-edge formation family
+  (one entry per directed unit-disk edge, see
+  :mod:`repro.sim.array_engine.formation`).  Draw sites that reuse a
+  physical link reuse its family entry (heartbeats, digests, updates,
+  peer traffic, relays all ride the same ``mc``/``cm``/``mm`` chains);
 - every draw advances the chain exactly once per copy, in the scalar
   model's order: transition first (Good->Bad with ``p_gb``, Bad->Good
   with ``p_bg``), then the loss draw in the *new* state -- two uniforms

@@ -57,7 +57,12 @@ the epoch, R-2 at ``+thop``, R-3 at ``+2*thop``, recovery/DCH/
 inter-cluster at ``+3*thop``), transmit debits before receive debits
 per instant.  ``tx_total`` therefore equals ``MessageCounts.
 transmissions`` and ``rx_total`` equals the delivered-copy count -- the
-invariant the soak's energy sub-pair asserts.
+invariant the soak's energy sub-pair asserts.  (With
+``formation="protocol"`` both engines run formation *before* energy
+tracking starts, so the invariant covers the FDS phase only: the
+scenario-level ``MessageCounts`` additionally carries the formation
+sends, on the event engine via the medium counters and here via
+``FormationOutcome.transmissions``.)
 """
 
 from __future__ import annotations
@@ -114,6 +119,13 @@ class ArrayRoundEngine:
 
         c, m = layout.members.shape
         self.C, self.M = c, m
+        #: Head NID per cluster index.  Oracle lattices use the identity
+        #: (head NID == cluster index); protocol-formed layouts carry
+        #: arbitrary head NIDs, so every knowledge-row / energy access
+        #: for "the CH of cluster c" must go through this map.
+        self.head_ids = layout.head_nids
+        self._is_head = np.zeros(layout.node_count, dtype=bool)
+        self._is_head[self.head_ids] = True
         # Tracked failure targets: every node some authority ever
         # suspected.  T stays tiny (crashes + rare false suspicions), so
         # per-node knowledge is an (N, T) bool matrix.
@@ -184,6 +196,8 @@ class ArrayRoundEngine:
             self.ch_inbound = self.ch_inbound[order]
             self.ch_report_dist = self.ch_report_dist[order]
             self.ch_overhear_dist = self.ch_overhear_dist[order]
+            self.ch_src_nid = self.head_ids[self.ch_src]
+            self.ch_dst_nid = self.head_ids[self.ch_dst]
         else:
             self.ch_src = np.zeros(0, dtype=np.int64)
             self.ch_dst = np.zeros(0, dtype=np.int64)
@@ -192,6 +206,8 @@ class ArrayRoundEngine:
             self.ch_inbound = np.zeros(0, dtype=bool)
             self.ch_report_dist = np.zeros((0, 1), dtype=np.float64)
             self.ch_overhear_dist = np.zeros((0, 1), dtype=np.float64)
+            self.ch_src_nid = np.zeros(0, dtype=np.int64)
+            self.ch_dst_nid = np.zeros(0, dtype=np.int64)
 
         # The per-channel gateway ladders address chain cells by (b, g)
         # before any full-family draw would create them, so pre-create
@@ -229,8 +245,13 @@ class ArrayRoundEngine:
         self.t_col[node_id] = col
         self.t_ids.append(node_id)
         cluster = int(self.layout.assign[node_id])
+        if cluster == PAD:
+            raise ValueError(
+                f"node {node_id} is unclustered and cannot be a failure "
+                "target (no authority observes it)"
+            )
         self.t_cluster.append(cluster)
-        if node_id < self.C:
+        if self._is_head[node_id]:
             self.t_slot.append(PAD)
         else:
             row = self.layout.members[cluster]
@@ -312,11 +333,11 @@ class ArrayRoundEngine:
         energy = self.energy
         if energy is not None:
             tx = self._node_counts()
-            tx[: self.C] += 1
+            tx[self.head_ids] += 1
             self._scatter_member_counts(alive_m.astype(np.int64), tx)
             energy.charge_tx(epoch, tx)
             rx = self._node_counts()
-            rx[: self.C] += hb_mc.sum(axis=1)
+            rx[self.head_ids] += hb_mc.sum(axis=1)
             self._scatter_member_counts(
                 hb_cm.astype(np.int64) + hb_mm.sum(axis=2), rx
             )
@@ -324,7 +345,7 @@ class ArrayRoundEngine:
             if use_digests:
                 energy.charge_tx(epoch + fds.thop, tx)  # same sender set
                 rx = self._node_counts()
-                rx[: self.C] += dg_mc.sum(axis=1)
+                rx[self.head_ids] += dg_mc.sum(axis=1)
                 self._scatter_member_counts(dg_cm.astype(np.int64), rx)
                 energy.charge_rx(epoch + fds.thop, rx)
         if prof is not None:
@@ -354,7 +375,7 @@ class ArrayRoundEngine:
         self.transmissions += self.C
         if energy is not None:
             tx = self._node_counts()
-            tx[: self.C] += 1
+            tx[self.head_ids] += 1
             energy.charge_tx(t_r3, tx)
             rx = self._node_counts()
             self._scatter_member_counts(upd_direct.astype(np.int64), rx)
@@ -484,10 +505,11 @@ class ArrayRoundEngine:
     ) -> None:
         nid = int(self.layout.members[c, s])
         col = self.t_col[nid]
+        head = int(self.head_ids[c])
         self.suspected[c, s] = False
-        self.known[c, col] = False  # head NID == cluster index
+        self.known[head, col] = False
         refuted_exec[c, col] = True
-        self._trace(when, ev.REFUTATION, c, target=nid)
+        self._trace(when, ev.REFUTATION, head, target=nid)
 
     def _record_detections(
         self, e: int, t_r3: float, newly: np.ndarray
@@ -503,11 +525,12 @@ class ArrayRoundEngine:
                 self._refuted_this_exec = np.concatenate(
                     [self._refuted_this_exec, grow], axis=1
                 )
+            head = int(self.head_ids[c])
             self.suspected[c, s] = True
-            self.known[c, col] = True
+            self.known[head, col] = True
             self._trace(
-                t_r3, ev.DETECTION, int(c),
-                target=nid, detector=int(c), execution=e,
+                t_r3, ev.DETECTION, head,
+                target=nid, detector=head, execution=e,
             )
 
     # ------------------------------------------------------------------
@@ -540,8 +563,8 @@ class ArrayRoundEngine:
             ok = req & fwd
             if self._e_tx is not None:
                 self._scatter_member_counts(pending.astype(np.int64), self._e_tx)
-                self._e_tx[: self.C] += req.sum(axis=1)
-                self._e_rx[: self.C] += req.sum(axis=1)
+                self._e_tx[self.head_ids] += req.sum(axis=1)
+                self._e_rx[self.head_ids] += req.sum(axis=1)
                 self._scatter_member_counts(ok.astype(np.int64), self._e_rx)
             recovered |= ok
             pending &= ~ok
@@ -559,7 +582,7 @@ class ArrayRoundEngine:
         if not self.T or not got_update.any():
             return
         layout = self.layout
-        ch_payload = self.known[: self.C]  # head NIDs == cluster indices
+        ch_payload = self.known[self.head_ids]
         safe_ids = np.where(layout.member_mask, layout.members, 0)
         mk = self.known[safe_ids]  # (C, M, T) gathered copy
         rec = got_update[:, :, None]
@@ -653,7 +676,7 @@ class ArrayRoundEngine:
             fires = acting & ch_failure_rule_mask(ch_evidence, upd_at_dep)
             for c in np.flatnonzero(fires):
                 deputy = int(dep[c])
-                head = int(c)
+                head = int(self.head_ids[c])
                 col = self._col(head)
                 if self.known[deputy, col]:
                     continue  # already suspects the head
@@ -696,10 +719,10 @@ class ArrayRoundEngine:
         guard = 0
         while guard <= self.C + 2:
             guard += 1
-            dst_known = self.known[self.ch_dst]  # (2B, T)
+            dst_known = self.known[self.ch_dst_nid]  # (2B, T)
             gw_known = self.known[safe_gw]  # (2B, G, T)
             out_has = (gw_known & ~dst_known[:, None, :]).any(axis=2)
-            in_has = (self.known[self.ch_src] & ~dst_known).any(axis=1)
+            in_has = (self.known[self.ch_src_nid] & ~dst_known).any(axis=1)
             has = np.where(self.ch_inbound[:, None], in_has[:, None], out_has)
             has &= alive_gw
             active = np.flatnonzero(has.any(axis=1))
@@ -723,15 +746,16 @@ class ArrayRoundEngine:
         """Attempt one channel crossing; returns True on success."""
         loss = self.loss
         layout = self.layout
-        dst = int(self.ch_dst[b])
+        dst = int(self.ch_dst[b])  # cluster index (layout rows, chains)
+        dst_nid = int(self.ch_dst_nid[b])  # the dst CH's knowledge row
         inbound = bool(self.ch_inbound[b])
-        src_row = self.known[int(self.ch_src[b])]
+        src_row = self.known[int(self.ch_src_nid[b])]
         for g in np.flatnonzero(ranks_ok):
             gid = int(self.ch_gw_ids[b, g])
             if inbound:
-                news = src_row & ~self.known[dst]
+                news = src_row & ~self.known[dst_nid]
             else:
-                news = self.known[gid] & ~self.known[dst]
+                news = self.known[gid] & ~self.known[dst_nid]
             if not news.any():
                 return False  # covered by an earlier crossing this wave
             if inbound:
@@ -758,15 +782,15 @@ class ArrayRoundEngine:
             self.transmissions += attempts
             if self._e_tx is not None:
                 self._e_tx[gid] += attempts
-                self._e_rx[dst] += int(rep.sum())
+                self._e_rx[dst_nid] += int(rep.sum())
             if not rep.any():
                 continue  # report ladder exhausted; next BGW takes over
-            self.known[dst] |= news
+            self.known[dst_nid] |= news
             rel = loss.draw_into(alive_m[dst], hd[dst], chain="cm", at=dst)
             self.transmissions += 1
             rec_ids = layout.members[dst][rel & layout.member_mask[dst]]
             if self._e_tx is not None:
-                self._e_tx[dst] += 1
+                self._e_tx[dst_nid] += 1
                 self._e_rx[rec_ids] += 1
             if rec_ids.size:
                 self.known[rec_ids] |= news[None, :]

@@ -12,12 +12,24 @@ topology and ground truth match bit-for-bit across engines; only the
 per-copy loss draws come from the engine-private ``stream("array",
 "loss")``.
 
-Engine restriction (checked up front, raising
-:class:`~repro.errors.ExperimentError`): oracle formation only -- the
-distributed formation protocol is event-level.  Every loss kind
-(including the stateful ``gilbert`` chains, see
-:mod:`repro.sim.array_engine.loss`) and energy tracking (see
-:mod:`repro.sim.array_engine.energy`) run vectorized.
+Support matrix: every ``ScenarioConfig`` runs on this engine -- both
+formation modes (``"oracle"`` builds the lattice layout directly;
+``"protocol"`` runs the vectorized six-round distributed formation, see
+:mod:`repro.sim.array_engine.formation`), every loss kind (including
+the stateful ``gilbert`` chains, see
+:mod:`repro.sim.array_engine.loss`), and energy tracking (see
+:mod:`repro.sim.array_engine.energy`).  No config is rejected here.
+
+With ``formation="protocol"`` the member positions still come from the
+shared ``stream("placement")`` (bit-identical field across engines),
+formation loss draws ride the engine-private loss stream under the
+``"fm"`` chain family, the RCC backoff uniforms come from
+``stream("array", "formation")``, and the FDS epoch starts one round
+after formation parks the clock -- the event path's
+``network.sim.now + thop``.  Nodes the protocol leaves unclustered run
+no FDS: they are excluded from the completeness observer set (the
+paper's scope) but remain crash candidates, exactly like the event
+engine.
 """
 
 from __future__ import annotations
@@ -29,7 +41,6 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ExperimentError
 from repro.failure.faultload import Faultload, make_random_crashes
 from repro.metrics.collectors import MessageCounts
 from repro.metrics.properties import PropertyReport, detection_latency
@@ -89,13 +100,26 @@ class _ArrayLayoutFacade:
     """Duck-type of ``ClusterLayout`` where only ``len(clusters)`` and
     clustered-membership checks are consumed."""
 
-    def __init__(self, cluster_count: int, node_count: int) -> None:
+    def __init__(
+        self,
+        cluster_count: int,
+        node_count: int,
+        assign: Optional[np.ndarray] = None,
+    ) -> None:
         self.clusters = range(cluster_count)
         self._node_count = node_count
+        #: ``None`` means the oracle lattice (everyone clustered,
+        #: spacing < 2r); protocol layouts pass their ``assign`` array
+        #: so unclustered nodes (``PAD``) answer False.
+        self._assign = assign
 
     def is_clustered(self, node_id: NodeId) -> bool:
-        # The lattice oracle clusters every node (spacing < 2r).
-        return 0 <= int(node_id) < self._node_count
+        nid = int(node_id)
+        if not 0 <= nid < self._node_count:
+            return False
+        if self._assign is None:
+            return True
+        return int(self._assign[nid]) >= 0
 
 
 @dataclass
@@ -115,6 +139,13 @@ class ArrayScenarioResult:
     #: exposes the event engine's scoring surface (``totals()``,
     #: ``spread()``, ``remaining_fraction()``).
     energy: Optional[ArrayEnergyLedger] = None
+    #: Converged formation state (populated iff
+    #: ``config.formation == "protocol"``); feed it to
+    #: :func:`~repro.sim.array_engine.formation.formation_cluster_layout`
+    #: for the event-comparable ``ClusterLayout`` or to
+    #: :func:`~repro.sim.array_engine.formation.formation_shape_violations`
+    #: for the structural audit.
+    formation: Optional["object"] = None
 
     @property
     def detection_latencies(self) -> Dict[NodeId, Optional[SimTime]]:
@@ -166,17 +197,25 @@ def _score_properties(
     engine: ArrayRoundEngine,
     crash_exec: np.ndarray,
     executions: int,
+    clustered_mask: Optional[np.ndarray] = None,
 ) -> Tuple[PropertyReport, Tuple[NodeId, ...], Tuple[NodeId, ...]]:
     """Numpy translation of :func:`repro.metrics.properties.evaluate_properties`.
 
-    Observers are the operational clustered nodes (the lattice clusters
-    everyone); a node is operational at the horizon iff its first dead
-    execution lies beyond the run.  Accuracy pairs come out sorted by
-    (suspector, suspected), matching the event-side scorer.
+    Observers are the operational *clustered* nodes (the paper's scope;
+    the oracle lattice clusters everyone, so ``clustered_mask=None``
+    means all-True, while protocol layouts pass ``assign != PAD``).  A
+    node is operational at the horizon iff its first dead execution lies
+    beyond the run.  Accuracy pairs scan every operational node --
+    clustered or not -- sorted by (suspector, suspected), matching the
+    event-side scorer.
     """
     op_mask = crash_exec > executions
     op_ids = np.flatnonzero(op_mask)
     crashed_ids = np.flatnonzero(~op_mask)
+    if clustered_mask is None:
+        obs_ids = op_ids
+    else:
+        obs_ids = np.flatnonzero(op_mask & clustered_mask)
     known = engine.known
     t_ids = np.asarray(engine.t_ids, dtype=np.int64)
 
@@ -185,9 +224,9 @@ def _score_properties(
     for v in crashed_ids:
         col = engine.t_col.get(int(v))
         if col is None:
-            frac = 0.0 if op_ids.size else 1.0
-        elif op_ids.size:
-            frac = float(known[op_ids, col].sum()) / float(op_ids.size)
+            frac = 0.0 if obs_ids.size else 1.0
+        elif obs_ids.size:
+            frac = float(known[obs_ids, col].sum()) / float(obs_ids.size)
         else:
             frac = 1.0
         completeness[NodeId(int(v))] = frac
@@ -211,7 +250,7 @@ def _score_properties(
         completeness=completeness,
         accuracy_violations=tuple(violations),
         incomplete_failures=tuple(incomplete),
-        operational_count=int(op_ids.size),
+        operational_count=int(obs_ids.size),
         crashed_count=int(crashed_ids.size),
     )
     operational = tuple(NodeId(int(n)) for n in op_ids)
@@ -231,31 +270,9 @@ def run_array_scenario(
     as the event path (callers normally go through
     ``run_scenario(config)`` with ``engine="array"``).
     """
-    if config.formation != "oracle":
-        raise ExperimentError(
-            "the array engine requires formation='oracle' (the distributed "
-            "formation protocol is event-level; use engine='event')"
-        )
-
     rngs = RngFactory(config.seed)
     if tracer is None:
         tracer = RecordingTracer()
-
-    t0 = _time.perf_counter()
-    layout = build_array_layout(
-        cluster_count=config.cluster_count,
-        members_per_cluster=config.members_per_cluster,
-        radius=config.transmission_range,
-        rng=rngs.stream("placement"),
-        spacing_factor=config.spacing_factor,
-        deputy_count=config.fds.deputy_count,
-        max_backups=(
-            config.max_backups if config.max_backups is not None else 2
-        ),
-        keep_pair_dist=(config.loss_kind == "distance"),
-    )
-    if profiler is not None:
-        profiler.add_seconds(PHASE_ARRAY_LAYOUT, _time.perf_counter() - t0)
 
     loss = ArrayLossDraw(
         config.loss_kind,
@@ -265,14 +282,73 @@ def run_array_scenario(
         rng=rngs.stream("array", "loss"),
     )
 
-    fds_start = 0.0
+    t0 = _time.perf_counter()
+    outcome = None
+    if config.formation == "oracle":
+        layout = build_array_layout(
+            cluster_count=config.cluster_count,
+            members_per_cluster=config.members_per_cluster,
+            radius=config.transmission_range,
+            rng=rngs.stream("placement"),
+            spacing_factor=config.spacing_factor,
+            deputy_count=config.fds.deputy_count,
+            max_backups=(
+                config.max_backups if config.max_backups is not None else 2
+            ),
+            keep_pair_dist=(config.loss_kind == "distance"),
+        )
+        fds_start = 0.0
+    else:
+        from repro.cluster.formation import FormationConfig
+        from repro.sim.array_engine.formation import (
+            formation_array_layout,
+            run_array_formation,
+        )
+        from repro.sim.array_engine.layout import lattice_positions
+
+        xs, ys = lattice_positions(
+            cluster_count=config.cluster_count,
+            members_per_cluster=config.members_per_cluster,
+            radius=config.transmission_range,
+            rng=rngs.stream("placement"),
+            spacing_factor=config.spacing_factor,
+        )
+        # Mirror the event path's construction exactly (defaults for
+        # deputy_count/max_backups) so the extracted layouts agree.
+        formation_config = FormationConfig(
+            thop=config.fds.thop,
+            iterations=config.formation_iterations,
+            backoff_fraction=config.formation_backoff_fraction,
+        )
+        outcome = run_array_formation(
+            xs, ys, config.transmission_range, formation_config,
+            loss, rngs.stream("array", "formation"),
+        )
+        layout = formation_array_layout(
+            outcome, keep_pair_dist=(config.loss_kind == "distance")
+        )
+        # The event path starts the FDS one round after formation parks
+        # the clock (run_formation's total_duration, then + thop).
+        fds_start = formation_config.total_duration() + config.fds.thop
+    if profiler is not None:
+        profiler.add_seconds(PHASE_ARRAY_LAYOUT, _time.perf_counter() - t0)
+
     # Same candidate order and stream as the event path: operational
     # node IDs ascending, heads excluded -- in the lattice that is every
-    # member NID.
-    candidates = tuple(
-        NodeId(int(n))
-        for n in range(config.cluster_count, layout.node_count)
-    )
+    # member NID; under the protocol, heads sit anywhere, and unclustered
+    # nodes remain candidates.
+    if config.formation == "oracle":
+        candidates = tuple(
+            NodeId(int(n))
+            for n in range(config.cluster_count, layout.node_count)
+        )
+    else:
+        head_set = frozenset(int(h) for h in layout.head_nids)
+        candidates = tuple(
+            NodeId(n)
+            for n in range(layout.node_count)
+            if n not in head_set
+        )
     last_exec = max(1, config.executions - 2)
     faultload = make_random_crashes(
         candidates,
@@ -342,13 +418,15 @@ def run_array_scenario(
 
     t0 = _time.perf_counter()
     report, operational, crashed = _score_properties(
-        engine, crash_exec, config.executions
+        engine, crash_exec, config.executions,
+        clustered_mask=(layout.assign >= 0) if outcome is not None else None,
     )
     if profiler is not None:
         profiler.add_seconds(PHASE_ARRAY_SCORE, _time.perf_counter() - t0)
 
+    formation_tx = outcome.transmissions if outcome is not None else 0
     messages = MessageCounts(
-        transmissions=engine.transmissions,
+        transmissions=engine.transmissions + formation_tx,
         deliveries=loss.delivered_count,
         losses=loss.attempted - loss.delivered_count,
         peer_requests=engine.peer_requests,
@@ -370,7 +448,11 @@ def run_array_scenario(
     return ArrayScenarioResult(
         config=config,
         network=_ArrayNetworkFacade(horizon, operational, crashed),
-        layout=_ArrayLayoutFacade(layout.cluster_count, layout.node_count),
+        layout=_ArrayLayoutFacade(
+            layout.cluster_count,
+            layout.node_count,
+            assign=layout.assign if outcome is not None else None,
+        ),
         array_layout=layout,
         faultload=faultload,
         properties=report,
@@ -378,4 +460,5 @@ def run_array_scenario(
         tracer=tracer,
         crash_times=crash_times,
         energy=energy,
+        formation=outcome,
     )

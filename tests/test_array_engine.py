@@ -412,14 +412,276 @@ def test_array_energy_disabled_by_default():
 
 
 # ---------------------------------------------------------------------------
-# Guard rails: unsupported features fail loudly, not silently wrong.
+# Distributed formation on the array engine.
 # ---------------------------------------------------------------------------
 
 
-def test_protocol_formation_rejected():
-    config = _config(formation="protocol", engine="array")
-    with pytest.raises(ExperimentError, match="formation"):
-        run_array_scenario(config)
+def _formation_pair(**overrides):
+    """Run the same protocol-formation scenario on both engines."""
+    config = _config(formation="protocol", **overrides)
+    event = run_scenario(config)
+    array = run_scenario(replace(config, engine="array"))
+    return event, array
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7])
+def test_protocol_formation_lossless_bit_identical(seed):
+    """The acceptance lock: under lossless channels the vectorized
+    formation must converge to the exact ClusterLayout of the event
+    engine's ``run_formation`` -- clusters, deputies, boundaries,
+    unclustered set -- and the FDS phase that follows must emit
+    bit-identical verdict records."""
+    from repro.sim.array_engine.formation import formation_cluster_layout
+
+    event, array = _formation_pair(seed=seed, loss_probability=0.0)
+    layout = formation_cluster_layout(array.formation)
+    assert layout.clusters == event.layout.clusters
+    assert layout.boundaries == event.layout.boundaries
+    assert layout.unclustered == event.layout.unclustered
+    assert verdict_records(event.tracer) == verdict_records(array.tracer)
+    assert event.detection_latencies == array.detection_latencies
+    assert event.properties.completeness == array.properties.completeness
+    assert (
+        event.properties.operational_count
+        == array.properties.operational_count
+    )
+
+
+def test_protocol_formation_accepts_every_loss_kind():
+    for loss_kind in ("perfect", "bernoulli", "bounded", "distance",
+                      "gilbert"):
+        config = _config(
+            formation="protocol", engine="array",
+            loss_kind=loss_kind, loss_probability=0.25, seed=5,
+        )
+        result = run_scenario(config)
+        assert result.formation is not None
+        assert 0.0 <= result.properties.mean_completeness <= 1.0
+
+
+def test_protocol_formation_lossy_shape_invariants():
+    """Under loss the engines' head sets legitimately diverge, so the
+    array outcome is audited structurally instead (the soak's lossy
+    leg)."""
+    from repro.sim.array_engine.formation import formation_shape_violations
+
+    for seed in range(8):
+        config = _config(
+            formation="protocol", engine="array",
+            loss_probability=0.4, seed=seed, executions=3,
+        )
+        result = run_scenario(config)
+        assert formation_shape_violations(result.formation) == []
+
+
+def test_fds_rounds_with_nonidentity_heads_match_event():
+    """Protocol-formed layouts carry arbitrary head NIDs; the round
+    program's knowledge rows, energy debits and trace records must
+    address heads by NID, not cluster index.  Form under loss (electing
+    heads != 0..C-1), then run a *lossless* FDS phase over the same
+    frozen layout on both engines and demand verdict bit-identity."""
+    from repro.failure.faultload import make_random_crashes
+    from repro.failure.injection import FailureInjector
+    from repro.fds.config import FdsConfig
+    from repro.fds.service import install_fds
+    from repro.sim.array_engine.formation import (
+        formation_array_layout,
+        formation_cluster_layout,
+    )
+    from repro.sim.array_engine.loss import ArrayLossDraw
+    from repro.sim.array_engine.rounds import ArrayRoundEngine
+    from repro.sim.array_engine.runner import _crash_executions
+    from repro.sim.loss import build_loss_model
+    from repro.sim.network import NetworkConfig, build_network
+    from repro.sim.trace import RecordingTracer
+    from repro.types import NodeId
+    from repro.util.geometry import Vec2
+
+    lossy = run_scenario(_config(
+        formation="protocol", engine="array",
+        loss_probability=0.4, seed=2, crash_count=0, executions=1,
+    ))
+    outcome = lossy.formation
+    heads = [int(h) for h in outcome.head_ids()]
+    assert heads != list(range(len(heads)))  # the interesting case
+
+    cluster_layout = formation_cluster_layout(outcome)
+    array_layout = formation_array_layout(outcome)
+    fds = FdsConfig()
+    executions = 4
+
+    positions = {
+        NodeId(i): Vec2(float(outcome.xs[i]), float(outcome.ys[i]))
+        for i in range(outcome.node_count)
+    }
+    event_tracer = RecordingTracer()
+    network = build_network(
+        positions,
+        NetworkConfig(
+            transmission_range=outcome.radius, loss_probability=0.0,
+            seed=0, vectorized=True,
+        ),
+        loss_model=build_loss_model("perfect", ()),
+        tracer=event_tracer,
+    )
+    deployment = install_fds(network, cluster_layout, fds, start_time=0.0)
+    injector = FailureInjector(network, fds, fds_start=0.0)
+    candidates = tuple(
+        nid for nid in network.operational_ids()
+        if nid not in cluster_layout.heads
+    )
+    faultload = make_random_crashes(
+        candidates, 3, fds, RngFactory(2).stream("faultload"),
+        fds_start=0.0, first_execution=1, last_execution=executions - 2,
+    )
+    faultload.inject(injector)
+    deployment.run_executions(executions)
+
+    array_tracer = RecordingTracer()
+    crash_exec = _crash_executions(
+        faultload, outcome.node_count, executions, fds.phi, 0.0
+    )
+    engine = ArrayRoundEngine(
+        array_layout, fds,
+        ArrayLossDraw(
+            "perfect", (), loss_probability=0.0,
+            transmission_range=outcome.radius,
+            rng=np.random.default_rng(0),
+        ),
+        array_tracer, crash_exec, fds_start=0.0,
+    )
+    for e in range(executions):
+        engine.run_execution(e)
+
+    assert verdict_records(event_tracer) == verdict_records(array_tracer)
+    assert len(faultload.events) == 3
+
+
+# ---------------------------------------------------------------------------
+# Formation edge cases, on both engines.
+# ---------------------------------------------------------------------------
+
+
+def _formation_layouts_for_field(xs, ys, radius, loss_p=0.0, iterations=3):
+    """Run formation over an explicit field on both engines; return the
+    two extracted ClusterLayouts."""
+    from repro.cluster.formation import FormationConfig, run_formation
+    from repro.sim.array_engine.formation import (
+        formation_cluster_layout,
+        run_array_formation,
+    )
+    from repro.sim.array_engine.loss import ArrayLossDraw
+    from repro.sim.loss import build_loss_model
+    from repro.sim.network import NetworkConfig, build_network
+    from repro.types import NodeId
+    from repro.util.geometry import Vec2
+
+    config = FormationConfig(iterations=iterations)
+    positions = {
+        NodeId(i): Vec2(float(x), float(y)) for i, (x, y) in enumerate(zip(xs, ys))
+    }
+    kind = "perfect" if loss_p == 0.0 else "bernoulli"
+    params = () if loss_p == 0.0 else (("p", loss_p),)
+    network = build_network(
+        positions,
+        NetworkConfig(
+            transmission_range=radius, loss_probability=loss_p, seed=0,
+            vectorized=True,
+        ),
+        loss_model=build_loss_model(kind, params),
+    )
+    event_layout = run_formation(network, config)
+
+    loss = ArrayLossDraw(
+        kind, params, loss_probability=loss_p, transmission_range=radius,
+        rng=np.random.default_rng(1),
+    )
+    outcome = run_array_formation(
+        np.asarray(xs, dtype=float), np.asarray(ys, dtype=float), radius,
+        config, loss, np.random.default_rng(2),
+    )
+    return event_layout, formation_cluster_layout(outcome)
+
+
+def test_formation_single_node_field():
+    event_layout, array_layout = _formation_layouts_for_field(
+        [0.0], [0.0], RADIUS
+    )
+    assert event_layout.clusters == array_layout.clusters
+    assert list(array_layout.clusters) == [0]
+    assert array_layout.clusters[0].members == frozenset({0})
+    assert not array_layout.unclustered
+
+
+def test_formation_fully_connected_single_cluster():
+    """Everyone in range of everyone: exactly one cluster, headed by the
+    lowest NID, identical on both engines."""
+    rng = np.random.default_rng(42)
+    xs = rng.uniform(0, 60, size=30)
+    ys = rng.uniform(0, 60, size=30)
+    event_layout, array_layout = _formation_layouts_for_field(xs, ys, RADIUS)
+    assert event_layout.clusters == array_layout.clusters
+    assert event_layout.boundaries == array_layout.boundaries
+    assert list(array_layout.clusters) == [0]
+    assert array_layout.clusters[0].members == frozenset(range(30))
+
+
+def test_formation_total_loss_terminates_with_singletons():
+    """p=1 drops every formation message: every node eventually declares
+    itself (nobody suppresses it), no join ever lands, and both engines
+    -- whose private draws all lose regardless of the uniforms -- end at
+    N singleton clusters."""
+    rng = np.random.default_rng(3)
+    xs = rng.uniform(0, 200, size=12)
+    ys = rng.uniform(0, 200, size=12)
+    event_layout, array_layout = _formation_layouts_for_field(
+        xs, ys, RADIUS, loss_p=1.0
+    )
+    assert event_layout.clusters == array_layout.clusters
+    assert sorted(array_layout.clusters) == list(range(12))
+    for head, cluster in array_layout.clusters.items():
+        assert cluster.members == frozenset({head})
+    assert not array_layout.boundaries
+
+
+def test_formation_degenerate_extra_iterations_are_noops():
+    """Once every node is marked, further F4 iterations change nothing:
+    iterations=3 and iterations=8 converge to the same layout on both
+    engines."""
+    rng = np.random.default_rng(7)
+    xs = rng.uniform(0, 300, size=40)
+    ys = rng.uniform(0, 300, size=40)
+    base_event, base_array = _formation_layouts_for_field(
+        xs, ys, RADIUS, iterations=3
+    )
+    long_event, long_array = _formation_layouts_for_field(
+        xs, ys, RADIUS, iterations=8
+    )
+    assert base_event.clusters == long_event.clusters == long_array.clusters
+    assert base_array.clusters == long_array.clusters
+    assert base_array.boundaries == long_array.boundaries
+    assert base_array.unclustered == long_array.unclustered
+
+
+def test_formation_differential_pair_clean():
+    """The soak's ``differential:formation`` pair on representative
+    specs: lossless cross-engine bit-identity plus the lossy structural
+    audit."""
+    from repro.audit.differential import formation_violations
+
+    for spec in (
+        ScenarioSpec(seed=21, cluster_count=3, members_per_cluster=9,
+                     crash_count=2, executions=4, loss_kind="perfect"),
+        ScenarioSpec(seed=33, cluster_count=4, members_per_cluster=8,
+                     crash_count=1, executions=4, loss_kind="bernoulli",
+                     loss_p=0.3),
+    ):
+        assert formation_violations(spec) == []
+
+
+# ---------------------------------------------------------------------------
+# Guard rails: unsupported features fail loudly, not silently wrong.
+# ---------------------------------------------------------------------------
 
 
 def test_unknown_engine_rejected():

@@ -160,6 +160,44 @@ class TestSigint:
         assert resumed_json.read_bytes() == fresh_json.read_bytes()
 
 
+class TestFormationKnobs:
+    def test_campaign_run_roundtrips_formation_config(self, tmp_path, capsys):
+        """``campaign run --formation protocol`` must store the formation
+        knobs in the manifest so a resume replays the same formation."""
+        from repro.campaign.plans import plan_from_manifest
+        from repro.campaign.store import config_from_canonical
+
+        store = tmp_path / "store"
+        args = [
+            "campaign", "run", "--kind", "scenario",
+            "--clusters", "2", "--members", "8", "--loss-p", "0.1",
+            "--crashes", "1", "--executions", "2",
+            "--seeds", "2", "--seed-base", "1",
+            "--engine", "array", "--formation", "protocol",
+            "--formation-iterations", "2", "--formation-backoff", "0.3",
+        ]
+        first = tmp_path / "first.json"
+        assert main([*args, "--store", str(store),
+                     "--result-json", str(first)]) == 0
+        capsys.readouterr()
+
+        manifests = list((store / "campaigns").glob("*/manifest.json"))
+        assert len(manifests) == 1
+        plan = plan_from_manifest(json.loads(manifests[0].read_text()))
+        config = config_from_canonical(plan.chunks[0].payload["config"])
+        assert config.formation == "protocol"
+        assert config.formation_iterations == 2
+        assert config.formation_backoff_fraction == 0.3
+        assert config.engine == "array"
+
+        # A second identical run is pure cache hits, byte-identical.
+        second = tmp_path / "second.json"
+        assert main([*args, "--store", str(store),
+                     "--result-json", str(second)]) == 0
+        assert "2 cache hit(s), 0 executed" in capsys.readouterr().out
+        assert first.read_bytes() == second.read_bytes()
+
+
 class TestSoakCli:
     def test_soak_store_caches_verdicts(self, tmp_path, capsys):
         store = str(tmp_path / "soak-store")

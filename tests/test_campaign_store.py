@@ -62,6 +62,39 @@ class TestCanonicalization:
         assert restored == config
         assert restored.track_energy and restored.engine == "array"
 
+    def test_config_round_trip_formation_knobs(self):
+        """The protocol-formation knobs accepted by both engines must
+        survive canonicalization unchanged -- a resumed campaign has to
+        re-run the same formation, not silently fall back to oracle."""
+        config = ScenarioConfig(
+            cluster_count=3,
+            members_per_cluster=9,
+            engine="array",
+            formation="protocol",
+            formation_iterations=5,
+            formation_backoff_fraction=0.25,
+        )
+        restored = config_from_canonical(canonical_config_dict(config))
+        assert restored == config
+        assert restored.formation == "protocol"
+        assert restored.formation_iterations == 5
+        payload = json.loads(canonical_json(canonical_config_dict(config)))
+        assert config_from_canonical(payload) == config
+
+    def test_formation_knobs_change_the_content_key(self):
+        base = ScenarioConfig(seed=7)
+        variants = [
+            dataclasses.replace(base, formation="protocol"),
+            dataclasses.replace(base, formation_iterations=4),
+            dataclasses.replace(base, formation_backoff_fraction=0.2),
+        ]
+        base_key = content_key("scenario", canonical_config_dict(base))
+        keys = {
+            content_key("scenario", canonical_config_dict(v)) for v in variants
+        }
+        assert base_key not in keys
+        assert len(keys) == len(variants)
+
     def test_round_trip_survives_json(self):
         config = ScenarioConfig(loss_probability=0.1, spacing_factor=1.6)
         payload = json.loads(canonical_json(canonical_config_dict(config)))

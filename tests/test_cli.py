@@ -32,6 +32,33 @@ class TestCli:
         out = capsys.readouterr().out
         assert "mean_completeness" in out
 
+    def test_scenario_protocol_formation_both_engines(self, capsys):
+        """The formation knobs ride the CLI into both engines, and under
+        lossless channels the two reports are identical.  (The raw
+        transmission count is excluded: a mid-round crash silences an
+        event-engine node partway through an execution, while the array
+        engine quantizes aliveness to whole executions -- one message of
+        slack, crash runs only.)"""
+        outs = []
+        for engine in ("event", "array"):
+            code = main([
+                "scenario", "--engine", engine,
+                "--formation", "protocol",
+                "--formation-iterations", "2",
+                "--formation-backoff", "0.3",
+                "--clusters", "2", "--members", "8", "--p", "0",
+                "--executions", "3", "--crashes", "1", "--seed", "5",
+            ])
+            assert code == 0
+            outs.append(capsys.readouterr().out)
+        assert "mean_completeness" in outs[0]
+
+        def comparable(out):
+            return [line for line in out.splitlines()
+                    if "transmissions" not in line]
+
+        assert comparable(outs[0]) == comparable(outs[1])
+
     def test_reachability(self, capsys):
         assert main(["reachability", "--p", "0.1"]) == 0
         out = capsys.readouterr().out
