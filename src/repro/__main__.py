@@ -37,6 +37,11 @@ Commands
     ``repro trace``-compatible file) and ``diff`` (the
     ``differential:realnet`` harness -- seeded specs run under sim and
     runtime must agree on oracle verdicts and latency anchors).
+``serve``
+    Live dashboard over a trace spool: JSON endpoints byte-identical to
+    the ``repro trace`` CLI, an SSE tail of a growing spool at
+    ``/events``, campaign status at ``/api/campaigns``, and Prometheus
+    exposition at ``/metrics`` (see :mod:`repro.serve`).
 
 Exit codes: 0 success, 1 failure/usage, 2 failed campaign chunks,
 3 partial campaign (``--stop-after`` checkpoint), 130 interrupted
@@ -286,10 +291,12 @@ def main(argv: list[str] | None = None) -> int:
     from repro.campaign.cli import add_campaign_parser
     from repro.obs.cli import add_trace_parser
     from repro.rt.cli import add_rt_parser
+    from repro.serve.cli import add_serve_parser
 
     add_campaign_parser(sub)
     add_trace_parser(sub)
     add_rt_parser(sub)
+    add_serve_parser(sub)
 
     bench = sub.add_parser(
         "bench", help="run hot-path benchmarks; write BENCH_hotpaths.json"
@@ -321,6 +328,11 @@ def main(argv: list[str] | None = None) -> int:
 
         return cmd_rt(namespace)
 
+    def _cmd_serve(namespace: argparse.Namespace) -> int:
+        from repro.serve.cli import cmd_serve
+
+        return cmd_serve(namespace)
+
     handlers = {
         "figures": _cmd_figures,
         "claims": _cmd_claims,
@@ -332,6 +344,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "trace": _cmd_trace,
         "rt": _cmd_rt,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

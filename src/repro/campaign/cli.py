@@ -100,6 +100,9 @@ def add_campaign_parser(sub: argparse._SubParsersAction) -> None:
     status = actions.add_parser("status", help="progress of stored campaigns")
     status.add_argument("--store", type=str, default="")
     status.add_argument("--id", default="", help="one campaign (default: all)")
+    status.add_argument("--json", action="store_true",
+                        help="emit the status snapshot as JSON (the same "
+                             "document 'repro serve' returns at /api/campaigns)")
 
     gc = actions.add_parser("gc", help="prune stale store entries")
     gc.add_argument("--store", type=str, default="")
@@ -216,23 +219,45 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         return 1
 
 
+def status_payload(store: ResultStore, campaign_id: str = "") -> Dict[str, Any]:
+    """The machine-readable status snapshot of a store's campaigns.
+
+    One surface for ``repro campaign status --json``, shell scripts, and
+    the dashboard's ``/api/campaigns`` endpoint.  Campaigns are sorted by
+    id, so the document (and the table rendered from it) is stable across
+    invocations of the same store state.
+    """
+    ids = [campaign_id] if campaign_id else store.campaign_ids()
+    campaigns = sorted(
+        (campaign_status(store, cid) for cid in ids),
+        key=lambda info: str(info["id"]),
+    )
+    return {"store": str(store.root), "campaigns": campaigns}
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     store = _store_from(args)
-    ids = [args.id] if args.id else store.campaign_ids()
-    if not ids:
+    payload = status_payload(store, args.id)
+    if getattr(args, "json", False):
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if not payload["campaigns"]:
         print(f"no campaigns under {store.root}")
         return 0
     rows = []
-    for campaign_id in ids:
-        info = campaign_status(store, campaign_id)
+    for info in payload["campaigns"]:
+        progress = info.get("progress", {})
+        eta = progress.get("eta_s")
         rows.append([
             info["id"], info["kind"],
             f"{info['chunks_done']}/{info['chunks_total']}",
             "yes" if info["complete"] else "no",
             info["cache_hits"], info["events"],
+            "-" if eta is None else f"{eta:.1f}",
         ])
     print(render_table(
-        ["campaign", "kind", "chunks", "complete", "cache_hits", "events"],
+        ["campaign", "kind", "chunks", "complete", "cache_hits", "events",
+         "eta_s"],
         rows, title=f"store: {store.root}",
     ))
     return 0

@@ -499,12 +499,33 @@ def campaign_status(store: ResultStore, campaign_id: str) -> Dict[str, Any]:
     cache_hits = sum(
         1 for e in events if e.get("event") == "chunk_done" and e.get("cache_hit")
     )
+    complete = (directory / "result.json").is_file() and len(done) == total
+    # Journal-derived progress for in-flight campaigns: the latest
+    # chunk_done telemetry event carries the runner's live throughput and
+    # ETA projection, so status (and the dashboard's /api/campaigns) can
+    # report them without touching the running process.
+    progress: Dict[str, Any] = {
+        "reps_per_s": None,
+        "eta_s": None,
+        "replications_done": None,
+        "last_event_t": None,
+    }
+    for event in reversed(events):
+        if event.get("event") == "chunk_done":
+            progress = {
+                "reps_per_s": event.get("reps_per_s"),
+                "eta_s": 0.0 if complete else event.get("eta_s"),
+                "replications_done": event.get("replications_done"),
+                "last_event_t": event.get("t"),
+            }
+            break
     return {
         "id": campaign_id,
         "kind": manifest.get("kind"),
         "chunks_done": len(done),
         "chunks_total": total,
-        "complete": (directory / "result.json").is_file() and len(done) == total,
+        "complete": complete,
         "cache_hits": cache_hits,
         "events": len(events),
+        "progress": progress,
     }

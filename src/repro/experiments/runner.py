@@ -262,6 +262,15 @@ def run_scenario(
             executions=config.executions,
             fds_start=fds_start,
         )
+        # Cluster map right after the run description: the spool alone
+        # must be able to draw the field (repro serve's /api/topology).
+        from repro.obs.topology import TOPOLOGY_KIND, layout_topology_detail
+
+        tracer.record(
+            network.sim.now,
+            TOPOLOGY_KIND,
+            **layout_topology_detail(layout, positions),
+        )
 
     deployment.run_executions(config.executions)
 

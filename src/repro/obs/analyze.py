@@ -392,3 +392,102 @@ def lineage(records: Iterable[TraceRecord], target: int) -> Lineage:
         forward_hops=forward_hops,
         relays=relays,
     )
+
+
+# ----------------------------------------------------------------------
+# JSON payloads (one machine-readable surface for the CLI's ``--json``
+# flags and the dashboard's ``/api/*`` endpoints -- both serialize these
+# with ``json.dumps(payload, indent=2, sort_keys=True)``, so the two
+# surfaces agree byte for byte on the same spool).
+# ----------------------------------------------------------------------
+def meta_payload(meta: TraceMeta) -> Dict[str, object]:
+    return {
+        "phi": meta.phi,
+        "thop": meta.thop,
+        "nodes": meta.nodes,
+        "seed": meta.seed,
+        "executions": meta.executions,
+        "timebase": meta.timebase,
+    }
+
+
+def summary_payload(summary: TraceSummary) -> Dict[str, object]:
+    """The ``repro trace summarize --json`` / ``/api/summary`` document."""
+    return {
+        "records": summary.records,
+        "span_s": summary.span,
+        "meta": meta_payload(summary.meta),
+        "kinds": dict(sorted(summary.kinds.items())),
+        "phases": {
+            phase: {"seconds": seconds, "share": share, "calls": calls}
+            for phase, seconds, share, calls in summary.phase_shares()
+        },
+        "detection_latency_phi": {
+            str(node): latency
+            for node, latency in summary.detection_latencies_phi().items()
+        },
+        "metrics": summary.registry.to_json(),
+    }
+
+
+def timeline_payload(
+    rows: List[Tuple[float, Dict[str, int]]],
+    meta: TraceMeta,
+    bucket: Optional[float] = None,
+) -> Dict[str, object]:
+    """The ``repro trace timeline --json`` / ``/api/timeline`` document."""
+    width = bucket if bucket is not None else meta.phi
+    groups = sorted(rows[0][1]) if rows else []
+    return {
+        "bucket_s": width,
+        "groups": groups,
+        "meta": meta_payload(meta),
+        "rows": [
+            {"t_start": start, "counts": dict(sorted(counts.items()))}
+            for start, counts in rows
+        ],
+    }
+
+
+def latency_payload(summary: TraceSummary) -> Dict[str, object]:
+    """The ``repro trace latency --json`` / ``/api/latency`` document."""
+    phi = summary.meta.phi
+    wall = summary.meta.wall_clock
+    crashes = []
+    for node, latency in sorted(summary.detection_latencies_phi().items()):
+        detected_at = summary.first_detection.get(node)
+        row: Dict[str, object] = {
+            "node": node,
+            "crashed_at": summary.crash_times[node],
+            "detected_at": detected_at,
+            "latency_phi": latency,
+        }
+        if wall:
+            row["latency_ms"] = (
+                None if latency is None else 1000 * latency * phi
+            )
+        crashes.append(row)
+    return {"meta": meta_payload(summary.meta), "crashes": crashes}
+
+
+def lineage_payload(chain: Lineage) -> Dict[str, object]:
+    """The ``repro trace lineage --json`` / ``/api/lineage`` document."""
+    return {
+        "target": chain.target,
+        "crash_time": chain.crash_time,
+        "detected": chain.detected,
+        "detectors": list(chain.detectors),
+        "forward_hops": chain.forward_hops,
+        "relays": chain.relays,
+        "events": [
+            {
+                "time": event.time,
+                "execution": event.execution,
+                "round": event.round,
+                "kind": event.kind,
+                "node": event.node,
+                "note": event.note,
+            }
+            for event in chain.events
+        ],
+    }

@@ -16,9 +16,28 @@ from pathlib import Path
 from typing import Optional
 
 from repro.errors import ReproError
-from repro.obs.analyze import Lineage, TraceSummary, lineage, summarize, timeline
+from repro.obs.analyze import (
+    Lineage,
+    TraceSummary,
+    latency_payload,
+    lineage,
+    lineage_payload,
+    summarize,
+    summary_payload,
+    timeline,
+    timeline_payload,
+)
 from repro.obs.spool import iter_spool
 from repro.util.tables import render_table
+
+
+def render_json(payload: dict) -> str:
+    """The one JSON serialization both the CLI and the dashboard use.
+
+    ``repro serve`` returns exactly these bytes, so an endpoint response
+    and the matching ``--json`` CLI output agree byte for byte.
+    """
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
 def add_trace_parser(sub: argparse._SubParsersAction) -> None:
@@ -45,6 +64,8 @@ def add_trace_parser(sub: argparse._SubParsersAction) -> None:
     _spool_arg(tl)
     tl.add_argument("--bucket", type=float, default=None,
                     help="bucket width in seconds (default: the trace's phi)")
+    tl.add_argument("--json", action="store_true",
+                    help="emit the bucketed rows as JSON instead of a table")
 
     lin = actions.add_parser(
         "lineage", help="reconstruct one failure report's propagation path"
@@ -52,11 +73,15 @@ def add_trace_parser(sub: argparse._SubParsersAction) -> None:
     _spool_arg(lin)
     lin.add_argument("report_id", type=int,
                      help="the failed node's id (the report's subject)")
+    lin.add_argument("--json", action="store_true",
+                     help="emit the reconstructed chain as JSON")
 
     lat = actions.add_parser(
         "latency", help="per-crash detection latency in phi units"
     )
     _spool_arg(lat)
+    lat.add_argument("--json", action="store_true",
+                     help="emit per-crash latencies as JSON")
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -80,8 +105,8 @@ def _load_summary(path: str) -> TraceSummary:
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
     summary = _load_summary(args.spool)
-    if args.json:
-        print(json.dumps(_summary_json(summary), indent=2, sort_keys=True))
+    if getattr(args, "json", False):
+        print(render_json(summary_payload(summary)), end="")
     else:
         _print_summary(summary)
     if args.metrics_out:
@@ -90,31 +115,6 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
         out.write_text(summary.registry.render_prometheus(), encoding="utf-8")
         print(f"\nmetrics written to {out}")
     return 0
-
-
-def _summary_json(summary: TraceSummary) -> dict:
-    return {
-        "records": summary.records,
-        "span_s": summary.span,
-        "meta": {
-            "phi": summary.meta.phi,
-            "thop": summary.meta.thop,
-            "nodes": summary.meta.nodes,
-            "seed": summary.meta.seed,
-            "executions": summary.meta.executions,
-            "timebase": summary.meta.timebase,
-        },
-        "kinds": dict(sorted(summary.kinds.items())),
-        "phases": {
-            phase: {"seconds": seconds, "share": share, "calls": calls}
-            for phase, seconds, share, calls in summary.phase_shares()
-        },
-        "detection_latency_phi": {
-            str(node): latency
-            for node, latency in summary.detection_latencies_phi().items()
-        },
-        "metrics": summary.registry.to_json(),
-    }
 
 
 def _print_summary(summary: TraceSummary) -> None:
@@ -174,6 +174,10 @@ def _print_latency_histogram(summary: TraceSummary) -> None:
 
 def _cmd_timeline(args: argparse.Namespace) -> int:
     rows, meta = timeline(iter_spool(Path(args.spool)), bucket=args.bucket)
+    if getattr(args, "json", False):
+        print(render_json(timeline_payload(rows, meta, bucket=args.bucket)),
+              end="")
+        return 0
     if not rows:
         print("empty trace")
         return 0
@@ -191,7 +195,10 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
 
 def _cmd_lineage(args: argparse.Namespace) -> int:
     chain = lineage(iter_spool(Path(args.spool)), args.report_id)
-    _print_lineage(chain)
+    if getattr(args, "json", False):
+        print(render_json(lineage_payload(chain)), end="")
+    else:
+        _print_lineage(chain)
     return 0 if chain.detected else 1
 
 
@@ -226,6 +233,9 @@ def _print_lineage(chain: Lineage) -> None:
 def _cmd_latency(args: argparse.Namespace) -> int:
     summary = _load_summary(args.spool)
     latencies = summary.detection_latencies_phi()
+    if getattr(args, "json", False):
+        print(render_json(latency_payload(summary)), end="")
+        return 0
     if not latencies:
         print("trace records no crashes")
         return 0

@@ -211,24 +211,36 @@ class MetricsRegistry:
         return payload
 
     def render_prometheus(self) -> str:
-        """The Prometheus text exposition format (0.0.4)."""
+        """The Prometheus text exposition format (0.0.4).
+
+        Deviations from the format are normalized at render time, keeping
+        :meth:`to_json` (and the in-process handle names) unchanged:
+
+        - counters are exposed under the ``_total`` suffix convention --
+          a counter registered without it gains the suffix here;
+        - HELP text escapes backslash and line feed (``\\\\`` / ``\\n``),
+          per the 0.0.4 escaping rules for help lines;
+        - each histogram emits its cumulative buckets ending in the
+          mandatory ``+Inf`` bucket, then ``_sum``, then ``_count``.
+        """
         lines: List[str] = []
         for name in sorted(self._counters):
             metric = self._counters[name]
+            exposed = name if name.endswith("_total") else name + "_total"
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
-            lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name} {_fmt(metric.value)}")
+                lines.append(f"# HELP {exposed} {_escape_help(metric.help)}")
+            lines.append(f"# TYPE {exposed} counter")
+            lines.append(f"{exposed} {_fmt(metric.value)}")
         for name in sorted(self._gauges):
             metric = self._gauges[name]
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} gauge")
             lines.append(f"{name} {_fmt(metric.value)}")
         for name in sorted(self._histograms):
             h = self._histograms[name]
             if h.help:
-                lines.append(f"# HELP {name} {h.help}")
+                lines.append(f"# HELP {name} {_escape_help(h.help)}")
             lines.append(f"# TYPE {name} histogram")
             for bound, cumulative in h.cumulative():
                 le = "+Inf" if math.isinf(bound) else _fmt(bound)
@@ -236,6 +248,35 @@ class MetricsRegistry:
             lines.append(f"{name}_sum {_fmt(h.sum)}")
             lines.append(f"{name}_count {h.count}")
         return "\n".join(lines) + "\n" if lines else ""
+
+    # -- merging -------------------------------------------------------
+    def merge_json(self, payload: Dict[str, object]) -> None:
+        """Fold a :meth:`to_json` snapshot into this registry.
+
+        Counters accumulate, gauges take the incoming value (last write
+        wins), histograms add element-wise -- re-merged buckets must
+        match or a :class:`ConfigurationError` is raised.  This is how
+        the dashboard's ``/metrics`` endpoint folds the per-store
+        persisted campaign snapshots (``metrics.json``, the JSON dual of
+        ``metrics.prom``) into one exposition.
+        """
+        for name, value in dict(payload.get("counters", {})).items():
+            self.counter(name).inc(float(value))
+        for name, value in dict(payload.get("gauges", {})).items():
+            self.gauge(name).set(float(value))
+        for name, data in dict(payload.get("histograms", {})).items():
+            h = self.histogram(name, data["buckets"])
+            counts = list(data["counts"])
+            if len(counts) != len(h.counts):
+                raise ConfigurationError(
+                    f"histogram {name} snapshot has {len(counts)} buckets, "
+                    f"registry has {len(h.counts)}"
+                )
+            for i, n in enumerate(counts):
+                h.counts[i] += int(n)
+            h.inf_count += int(data.get("inf_count", 0))
+            h.sum += float(data.get("sum", 0.0))
+            h.count += int(data.get("count", 0))
 
     # -- folding -------------------------------------------------------
     def observe_all(self, name: str, values: Iterable[float],
@@ -252,6 +293,11 @@ def _fmt(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    """0.0.4 HELP-line escaping: backslash first, then line feed."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def scenario_metrics(

@@ -28,6 +28,7 @@ from __future__ import annotations
 import gzip
 import io
 import json
+import time
 import threading
 from collections import deque
 from pathlib import Path
@@ -161,43 +162,110 @@ def _open_spool(path: Path) -> io.TextIOBase:
     return path.open("r", encoding="utf-8")
 
 
+def _parse_line(
+    line: str, prefixes: Optional[Sequence[str]]
+) -> Optional[TraceRecord]:
+    """One JSONL line -> record, or ``None`` (blank/garbage/filtered)."""
+    line = line.strip()
+    if not line:
+        return None
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    kind = payload.get("kind", "")
+    if prefixes is not None and not _kind_matches(kind, prefixes):
+        return None
+    detail = {
+        key: value
+        for key, value in payload.items()
+        if key not in _CORE_FIELDS
+    }
+    return TraceRecord(
+        time=SimTime(payload.get("time", 0.0)),
+        kind=kind,
+        node=payload.get("node"),
+        detail=detail,
+    )
+
+
+def _is_gzip(path: Path) -> bool:
+    with path.open("rb") as probe:
+        return probe.read(2) == b"\x1f\x8b"
+
+
 def iter_spool(
     path: Union[str, Path],
     kinds: Optional[Sequence[str]] = None,
-) -> Iterator[TraceRecord]:
+    *,
+    follow: bool = False,
+    poll_interval: float = 0.2,
+    stop: Optional[threading.Event] = None,
+    idle_marker: bool = False,
+) -> Iterator[Optional[TraceRecord]]:
     """Stream a spool file back as :class:`TraceRecord` objects.
 
     Torn final lines (a run killed mid-write) are skipped, matching the
     campaign telemetry reader's policy: an incomplete line carries no
     completed event.
+
+    With ``follow=True`` the iterator tails a *growing* spool instead of
+    stopping at EOF: a trailing line without its newline is held back and
+    re-attempted until the writer completes it (one record is one intact
+    line -- :class:`SpoolingTracer` writes are lock-serialized), and the
+    reader sleeps ``poll_interval`` seconds between attempts.  The loop
+    runs until ``stop`` (a :class:`threading.Event`) is set; remaining
+    complete lines are drained before returning.  ``idle_marker=True``
+    yields ``None`` once per empty poll so a consumer (the dashboard's
+    SSE endpoint) can emit keep-alives and notice dead peers.  Follow
+    mode refuses gzip spools: a gzip stream is not seekable-appendable,
+    so a growing ``.gz`` file cannot be tailed record-by-record.
     """
     path = Path(path)
     if not path.is_file():
         raise ConfigurationError(f"no trace spool at {path}")
     prefixes = tuple(kinds) if kinds is not None else None
-    with _open_spool(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
+    if not follow:
+        with _open_spool(path) as handle:
+            for line in handle:
+                record = _parse_line(line, prefixes)
+                if record is not None:
+                    yield record
+        return
+    if poll_interval <= 0:
+        raise ConfigurationError(
+            f"poll_interval must be > 0, got {poll_interval}"
+        )
+    if path.suffix == ".gz" or _is_gzip(path):
+        raise ConfigurationError(
+            f"cannot follow gzip spool {path}: gzip streams are not "
+            "seekable-appendable; spool to plain .jsonl for live tailing"
+        )
+    # Binary tail loop: bytes after the last newline stay buffered until
+    # the writer finishes the line, so a torn trailing line is retried
+    # rather than dropped.
+    with path.open("rb") as handle:
+        pending = b""
+        while True:
+            chunk = handle.read(65536)
+            if chunk:
+                pending += chunk
+                while True:
+                    newline = pending.find(b"\n")
+                    if newline < 0:
+                        break
+                    raw, pending = pending[:newline], pending[newline + 1:]
+                    record = _parse_line(
+                        raw.decode("utf-8", errors="replace"), prefixes
+                    )
+                    if record is not None:
+                        yield record
                 continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError:
-                continue
-            kind = payload.get("kind", "")
-            if prefixes is not None and not _kind_matches(kind, prefixes):
-                continue
-            detail = {
-                key: value
-                for key, value in payload.items()
-                if key not in _CORE_FIELDS
-            }
-            yield TraceRecord(
-                time=SimTime(payload.get("time", 0.0)),
-                kind=kind,
-                node=payload.get("node"),
-                detail=detail,
-            )
+            if stop is not None and stop.is_set():
+                return
+            if idle_marker:
+                yield None
+            time.sleep(poll_interval)
 
 
 def read_spool(

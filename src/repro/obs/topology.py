@@ -1,0 +1,252 @@
+"""Cluster-map topology in the trace: emission and reconstruction.
+
+The spool is self-describing for *time* (``meta.scenario``) but, before
+this module, said nothing about *structure* -- which nodes head which
+clusters, who the deputies are, where the GW/BGW forwarding ladders sit.
+The dashboard's cluster map needs exactly that, so runs now stamp one
+``meta.topology`` record right after ``meta.scenario``:
+
+- the event engine serializes its :class:`~repro.cluster.state.ClusterLayout`
+  plus node positions (:func:`layout_topology_detail`);
+- the array engine serializes its
+  :class:`~repro.sim.array_engine.layout.ArrayLayout` flat arrays into
+  the identical shape (:func:`array_topology_detail`);
+- the rt runtime serializes the same :class:`ClusterLayout` it installs
+  protocols from.
+
+:func:`topology_view` replays a record stream into a
+:class:`TopologyView` -- cluster membership crossed with the ground-truth
+``sim.crash`` stream and the ``fds.detection`` verdicts, so the map can
+show crashed-but-undetected vs detected nodes.  Spools written before
+this record existed degrade gracefully (``found=False``; crash/detection
+status is still reported per node).
+
+Everything here is duck-typed over the layout objects (no imports from
+``repro.cluster`` or ``repro.sim.array_engine``) to keep ``repro.obs``
+dependency-free of the engines it observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.analyze import CRASH_KIND, META_KIND, TraceMeta, meta_payload
+from repro.sim.trace import TraceRecord
+
+#: Kind of the cluster-map record the runners emit after ``meta.scenario``.
+TOPOLOGY_KIND = "meta.topology"
+
+#: Coordinate rounding in the emitted record (display precision; keeps a
+#: million-node topology line ~40% smaller than full float reprs).
+_COORD_DECIMALS = 4
+
+
+# ----------------------------------------------------------------------
+# Emission side
+# ----------------------------------------------------------------------
+def layout_topology_detail(layout, positions) -> Dict[str, object]:
+    """``meta.topology`` detail from a :class:`ClusterLayout` + placement.
+
+    ``positions`` maps node id -> an object with ``x``/``y`` (``Vec2``).
+    All values are plain JSON types; members include the head, matching
+    :class:`~repro.cluster.state.Cluster` semantics.
+    """
+    clusters = [
+        {
+            "head": int(head),
+            "members": sorted(int(m) for m in cluster.members),
+            "deputies": [int(d) for d in cluster.deputies],
+        }
+        for head, cluster in sorted(layout.clusters.items())
+    ]
+    boundaries = [
+        {
+            "owner": int(owner),
+            "peer": int(peer),
+            "forwarders": [int(f) for f in boundary.all_forwarders],
+        }
+        for (owner, peer), boundary in sorted(layout.boundaries.items())
+    ]
+    nodes = sorted(int(n) for n in positions)
+    return {
+        "clusters": clusters,
+        "boundaries": boundaries,
+        "unclustered": sorted(int(n) for n in layout.unclustered),
+        "nodes": nodes,
+        "x": [round(float(positions[n].x), _COORD_DECIMALS) for n in nodes],
+        "y": [round(float(positions[n].y), _COORD_DECIMALS) for n in nodes],
+    }
+
+
+def array_topology_detail(layout) -> Dict[str, object]:
+    """``meta.topology`` detail from an :class:`ArrayLayout`.
+
+    Emits the same shape as :func:`layout_topology_detail`: members
+    include the head NID, boundary forwarders are member NIDs (PAD slots
+    dropped), and unclustered nodes are those with ``assign == PAD``.
+    """
+    pad = -1  # repro.sim.array_engine.layout.PAD
+    head_nids = [int(h) for h in layout.head_nids]
+    clusters = []
+    for c, head in enumerate(head_nids):
+        row = layout.members[c]
+        mask = layout.member_mask[c]
+        members = sorted({head, *(int(m) for m in row[mask])})
+        deputies = [int(d) for d in layout.deputies[c] if int(d) != pad]
+        clusters.append(
+            {"head": head, "members": members, "deputies": deputies}
+        )
+    clusters.sort(key=lambda entry: entry["head"])
+    boundaries = []
+    for b in range(len(layout.boundary_owner)):
+        owner_cluster = int(layout.boundary_owner[b])
+        forwarders = [
+            int(layout.members[owner_cluster][int(slot)])
+            for slot in layout.boundary_gateway_slots[b]
+            if int(slot) != pad
+        ]
+        boundaries.append({
+            "owner": head_nids[owner_cluster],
+            "peer": head_nids[int(layout.boundary_peer[b])],
+            "forwarders": forwarders,
+        })
+    boundaries.sort(key=lambda entry: (entry["owner"], entry["peer"]))
+    unclustered = sorted(
+        int(n)
+        for n in range(layout.node_count)
+        if int(layout.assign[n]) == pad
+    )
+    nodes = list(range(layout.node_count))
+    return {
+        "clusters": clusters,
+        "boundaries": boundaries,
+        "unclustered": unclustered,
+        "nodes": nodes,
+        "x": [round(float(v), _COORD_DECIMALS) for v in layout.xs],
+        "y": [round(float(v), _COORD_DECIMALS) for v in layout.ys],
+    }
+
+
+# ----------------------------------------------------------------------
+# Reconstruction side
+# ----------------------------------------------------------------------
+@dataclass
+class TopologyView:
+    """The cluster map a record stream describes, plus liveness status."""
+
+    meta: TraceMeta = field(default_factory=TraceMeta)
+    #: ``[{"head", "members", "deputies"}, ...]`` sorted by head.
+    clusters: List[Dict[str, object]] = field(default_factory=list)
+    #: ``[{"owner", "peer", "forwarders"}, ...]`` sorted by (owner, peer).
+    boundaries: List[Dict[str, object]] = field(default_factory=list)
+    unclustered: List[int] = field(default_factory=list)
+    #: node -> (x, y); empty when the spool predates ``meta.topology``.
+    positions: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+    #: node -> crash time (ground truth).
+    crash_times: Dict[int, float] = field(default_factory=dict)
+    #: node -> first ``fds.detection`` time.
+    first_detection: Dict[int, float] = field(default_factory=dict)
+    #: Whether a ``meta.topology`` record was present.
+    found: bool = False
+
+    def roles(self) -> Dict[int, str]:
+        """node -> ``head``/``deputy``/``gateway``/``member``/``unclustered``.
+
+        A node holding several roles reports the most specific one, in
+        the order head > deputy > gateway > member.
+        """
+        out: Dict[int, str] = {}
+        for node in self.positions:
+            out[node] = "member"
+        for node in self.unclustered:
+            out[node] = "unclustered"
+        for boundary in self.boundaries:
+            for forwarder in boundary["forwarders"]:
+                out[int(forwarder)] = "gateway"
+        for cluster in self.clusters:
+            for member in cluster["members"]:
+                out.setdefault(int(member), "member")
+            for deputy in cluster["deputies"]:
+                out[int(deputy)] = "deputy"
+        for cluster in self.clusters:
+            out[int(cluster["head"])] = "head"
+        return out
+
+    def cluster_of(self) -> Dict[int, int]:
+        """node -> owning cluster's head id."""
+        out: Dict[int, int] = {}
+        for cluster in self.clusters:
+            head = int(cluster["head"])
+            for member in cluster["members"]:
+                out[int(member)] = head
+        return out
+
+
+def topology_view(records: Iterable[TraceRecord]) -> TopologyView:
+    """One-pass reduction of a record stream to a :class:`TopologyView`."""
+    view = TopologyView()
+    for record in records:
+        if record.kind == META_KIND and not view.meta.found:
+            view.meta = TraceMeta.from_record(record)
+        elif record.kind == TOPOLOGY_KIND and not view.found:
+            detail = record.detail
+            view.clusters = [dict(c) for c in detail.get("clusters", [])]
+            view.boundaries = [dict(b) for b in detail.get("boundaries", [])]
+            view.unclustered = [int(n) for n in detail.get("unclustered", [])]
+            nodes = detail.get("nodes", [])
+            xs = detail.get("x", [])
+            ys = detail.get("y", [])
+            view.positions = {
+                int(n): (float(x), float(y))
+                for n, x, y in zip(nodes, xs, ys)
+            }
+            view.found = True
+        elif record.kind == CRASH_KIND and record.node is not None:
+            view.crash_times.setdefault(int(record.node), record.time)
+        elif record.kind == "fds.detection":
+            target = record.detail.get("target")
+            if target is not None:
+                view.first_detection.setdefault(int(target), record.time)
+    return view
+
+
+def topology_payload(view: TopologyView) -> Dict[str, object]:
+    """The ``/api/topology`` document: per-node rows plus the cluster map."""
+    roles = view.roles()
+    owners = view.cluster_of()
+    node_ids = sorted(
+        set(view.positions)
+        | set(roles)
+        | set(view.crash_times)
+        | set(view.first_detection)
+    )
+    nodes = []
+    for node in node_ids:
+        position = view.positions.get(node)
+        nodes.append({
+            "id": node,
+            "role": roles.get(node, "member"),
+            "cluster": owners.get(node),
+            "x": None if position is None else position[0],
+            "y": None if position is None else position[1],
+            "crashed_at": view.crash_times.get(node),
+            "detected_at": view.first_detection.get(node),
+        })
+    return {
+        "found": view.found,
+        "meta": meta_payload(view.meta),
+        "clusters": [
+            {
+                "head": int(c["head"]),
+                "size": len(c["members"]),
+                "deputies": [int(d) for d in c["deputies"]],
+            }
+            for c in view.clusters
+        ],
+        "boundaries": view.boundaries,
+        "unclustered": view.unclustered,
+        "nodes": nodes,
+        "crashed": len(view.crash_times),
+        "detected": len(view.first_detection),
+    }

@@ -520,6 +520,18 @@ class RtRuntime:
                 timebase=WALL_TIMEBASE,
                 time_scale=scenario.time_scale,
             )
+            # The run spool carries the cluster map too, so a merged rt
+            # trace feeds the dashboard's /api/topology unchanged.
+            from repro.obs.topology import (
+                TOPOLOGY_KIND,
+                layout_topology_detail,
+            )
+
+            self._run_tracer.record(
+                self.now,
+                TOPOLOGY_KIND,
+                **layout_topology_detail(self.layout, self.positions),
+            )
 
         # Same protocol objects as the simulator, on the rt substrate.
         for nid, node in sorted(self.nodes.items()):

@@ -1,0 +1,13 @@
+"""Live dashboard service: HTTP/SSE serving of spools, campaigns, metrics.
+
+``python -m repro serve --spool trace.jsonl [--store .repro-store]``
+starts a stdlib-only :class:`ThreadingHTTPServer` whose JSON endpoints
+reuse the ``repro trace`` reductions byte-for-byte, whose ``/events``
+endpoint tails a (possibly still growing) spool over Server-Sent
+Events, and whose ``/metrics`` endpoint merges the server's own request
+metrics with every campaign snapshot persisted in the store.
+"""
+
+from repro.serve.state import SpoolView, StoreView
+
+__all__ = ["SpoolView", "StoreView"]

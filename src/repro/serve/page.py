@@ -1,0 +1,384 @@
+"""The embedded dashboard page served at ``GET /``.
+
+One self-contained HTML document -- no external assets, no CDN -- so the
+dashboard works on an air-gapped bench host.  It polls the JSON
+endpoints (summary/topology/timeline/latency) and subscribes to
+``/events`` for the live record feed.
+
+Color system: roles are CSS custom properties with light and dark
+values (the ``prefers-color-scheme`` media query plus a ``data-theme``
+override scope), and the canvases read the resolved variables at draw
+time, so both charts follow the page theme.  Categorical series stay
+within the first three validated palette slots (head=blue,
+deputy=orange, gateway=aqua); plain members use muted ink and crashed
+nodes use the reserved critical status color with a text label in the
+legend -- identity is never color-alone.
+"""
+
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro dashboard</title>
+<style>
+  .viz-root {
+    color-scheme: light;
+    --surface-1: #fcfcfb;
+    --page: #f9f9f7;
+    --text-primary: #0b0b0b;
+    --text-secondary: #52514e;
+    --muted: #898781;
+    --grid: #e1e0d9;
+    --baseline: #c3c2b7;
+    --border: rgba(11, 11, 11, 0.10);
+    --series-1: #2a78d6;   /* head */
+    --series-2: #eb6834;   /* deputy */
+    --series-3: #1baf7a;   /* gateway */
+    --status-critical: #d03b3b;   /* crashed */
+  }
+  @media (prefers-color-scheme: dark) {
+    :root:where(:not([data-theme="light"])) .viz-root {
+      color-scheme: dark;
+      --surface-1: #1a1a19;
+      --page: #0d0d0d;
+      --text-primary: #ffffff;
+      --text-secondary: #c3c2b7;
+      --muted: #898781;
+      --grid: #2c2c2a;
+      --baseline: #383835;
+      --border: rgba(255, 255, 255, 0.10);
+      --series-1: #3987e5;
+      --series-2: #d95926;
+      --series-3: #199e70;
+      --status-critical: #d03b3b;
+    }
+  }
+  :root[data-theme="dark"] .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --baseline: #383835;
+    --border: rgba(255, 255, 255, 0.10);
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --status-critical: #d03b3b;
+  }
+  body.viz-root {
+    margin: 0;
+    background: var(--page);
+    color: var(--text-primary);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  header {
+    padding: 14px 20px 10px;
+    border-bottom: 1px solid var(--border);
+  }
+  header h1 { font-size: 16px; margin: 0 0 2px; font-weight: 600; }
+  header .sub { color: var(--text-secondary); font-size: 12px; }
+  main {
+    display: grid;
+    grid-template-columns: repeat(auto-fit, minmax(360px, 1fr));
+    gap: 14px;
+    padding: 14px 20px 24px;
+  }
+  section.card {
+    background: var(--surface-1);
+    border: 1px solid var(--border);
+    border-radius: 8px;
+    padding: 12px 14px;
+    min-width: 0;
+  }
+  section.card h2 {
+    font-size: 13px; font-weight: 600; margin: 0 0 8px;
+    color: var(--text-primary);
+  }
+  .stats { display: flex; flex-wrap: wrap; gap: 18px; }
+  .stat .v { font-size: 22px; font-weight: 600; }
+  .stat .k { color: var(--text-secondary); font-size: 11px; }
+  canvas { width: 100%; display: block; }
+  .legend {
+    display: flex; flex-wrap: wrap; gap: 12px;
+    margin-top: 6px; font-size: 11px; color: var(--text-secondary);
+  }
+  .legend .swatch {
+    display: inline-block; width: 9px; height: 9px;
+    border-radius: 50%; margin-right: 4px; vertical-align: -1px;
+  }
+  #feed {
+    font: 11px/1.5 ui-monospace, SFMono-Regular, Menlo, monospace;
+    color: var(--text-secondary);
+    max-height: 220px; overflow-y: auto; margin: 0; padding: 0;
+    list-style: none;
+  }
+  #feed li { white-space: nowrap; overflow: hidden; text-overflow: ellipsis; }
+  #feed li .t { color: var(--muted); }
+  .hint { color: var(--muted); font-size: 11px; margin-top: 6px; }
+</style>
+</head>
+<body class="viz-root">
+<header>
+  <h1>repro &mdash; cluster FDS dashboard</h1>
+  <div class="sub" id="meta">loading&hellip;</div>
+</header>
+<main>
+  <section class="card" style="grid-column: 1 / -1;">
+    <h2>Run summary</h2>
+    <div class="stats" id="stats"></div>
+  </section>
+  <section class="card">
+    <h2>Cluster map</h2>
+    <canvas id="map" height="340"></canvas>
+    <div class="legend" id="map-legend"></div>
+  </section>
+  <section class="card">
+    <h2>Trace timeline &mdash; records per bucket</h2>
+    <canvas id="timeline" height="200"></canvas>
+    <div class="legend" id="tl-legend"></div>
+    <h2 style="margin-top:14px;">Detection latency (&phi; units)</h2>
+    <canvas id="latency" height="140"></canvas>
+  </section>
+  <section class="card" style="grid-column: 1 / -1;">
+    <h2>Live events</h2>
+    <ul id="feed"></ul>
+    <div class="hint">SSE tail of the spool (fds.* and sim.* kinds);
+      newest last.</div>
+  </section>
+</main>
+<script>
+"use strict";
+const css = name =>
+  getComputedStyle(document.body).getPropertyValue(name).trim();
+const ROLE_COLOR = () => ({
+  head: css("--series-1"),
+  deputy: css("--series-2"),
+  gateway: css("--series-3"),
+  member: css("--muted"),
+  unclustered: css("--baseline"),
+});
+const fetchJSON = url => fetch(url).then(r => {
+  if (!r.ok) throw new Error(url + " -> " + r.status);
+  return r.json();
+});
+
+function sizeCanvas(canvas) {
+  const ratio = window.devicePixelRatio || 1;
+  const w = canvas.clientWidth, h = canvas.getAttribute("height") | 0;
+  canvas.width = w * ratio;
+  canvas.height = h * ratio;
+  const ctx = canvas.getContext("2d");
+  ctx.setTransform(ratio, 0, 0, ratio, 0, 0);
+  return [ctx, w, h];
+}
+
+function stat(label, value) {
+  return '<div class="stat"><div class="v">' + value +
+         '</div><div class="k">' + label + "</div></div>";
+}
+
+function renderSummary(s) {
+  const meta = s.meta || {};
+  document.getElementById("meta").textContent =
+    "nodes=" + (meta.nodes ?? "?") + "  phi=" + (meta.phi ?? "?") +
+    "  seed=" + (meta.seed ?? "?") + "  timebase=" + (meta.timebase ?? "phi");
+  const lat = s.detection_latency_phi || {};
+  document.getElementById("stats").innerHTML =
+    stat("records", s.records) +
+    stat("span (s)", (s.span_s ?? 0).toFixed(2)) +
+    stat("crashes detected", (lat.count ?? 0)) +
+    stat("mean latency (\\u03c6)",
+         lat.count ? lat.mean.toFixed(2) : "\\u2013");
+}
+
+function renderMap(topo) {
+  const canvas = document.getElementById("map");
+  const [ctx, w, h] = sizeCanvas(canvas);
+  ctx.fillStyle = css("--surface-1");
+  ctx.fillRect(0, 0, w, h);
+  if (!topo.found || !topo.nodes.length) {
+    ctx.fillStyle = css("--muted");
+    ctx.fillText("no meta.topology record in this spool", 12, 20);
+    return;
+  }
+  const xs = topo.nodes.map(n => n.x), ys = topo.nodes.map(n => n.y);
+  const x0 = Math.min(...xs), x1 = Math.max(...xs);
+  const y0 = Math.min(...ys), y1 = Math.max(...ys);
+  const pad = 16;
+  const sx = x => pad + (x - x0) / Math.max(x1 - x0, 1e-9) * (w - 2 * pad);
+  const sy = y => h - pad - (y - y0) / Math.max(y1 - y0, 1e-9) * (h - 2 * pad);
+  const colors = ROLE_COLOR();
+  // Boundary links first (recessive), then marks on top.
+  const byId = new Map(topo.nodes.map(n => [n.id, n]));
+  ctx.strokeStyle = css("--grid");
+  ctx.lineWidth = 1;
+  for (const b of topo.boundaries) {
+    const a = byId.get(b.owner), c = byId.get(b.peer);
+    if (!a || !c) continue;
+    ctx.beginPath();
+    ctx.moveTo(sx(a.x), sy(a.y));
+    ctx.lineTo(sx(c.x), sy(c.y));
+    ctx.stroke();
+  }
+  for (const n of topo.nodes) {
+    const crashed = n.crashed_at != null;
+    const r = n.role === "head" ? 5 : 3.5;
+    ctx.beginPath();
+    ctx.arc(sx(n.x), sy(n.y), r, 0, 2 * Math.PI);
+    ctx.fillStyle = crashed ? css("--status-critical")
+                            : (colors[n.role] || colors.member);
+    ctx.fill();
+    // 2px surface ring keeps overlapping marks separable.
+    ctx.strokeStyle = css("--surface-1");
+    ctx.lineWidth = 2;
+    ctx.stroke();
+    if (crashed && n.detected_at != null) {
+      ctx.beginPath();
+      ctx.arc(sx(n.x), sy(n.y), r + 4, 0, 2 * Math.PI);
+      ctx.strokeStyle = css("--status-critical");
+      ctx.lineWidth = 1;
+      ctx.stroke();
+    }
+  }
+  document.getElementById("map-legend").innerHTML = [
+    ["head", colors.head], ["deputy", colors.deputy],
+    ["gateway", colors.gateway], ["member", colors.member],
+    ["crashed \\u2715", css("--status-critical")],
+  ].map(([k, c]) =>
+    '<span><span class="swatch" style="background:' + c + '"></span>' +
+    k + "</span>").join("");
+}
+
+const TL_GROUPS = ["radio", "fds", "sim"];
+function renderTimeline(tl) {
+  const canvas = document.getElementById("timeline");
+  const [ctx, w, h] = sizeCanvas(canvas);
+  ctx.fillStyle = css("--surface-1");
+  ctx.fillRect(0, 0, w, h);
+  const rows = tl.rows || [];
+  if (!rows.length) return;
+  const groups = TL_GROUPS.filter(g => (tl.groups || []).includes(g));
+  const other = (tl.groups || []).filter(g => !TL_GROUPS.includes(g));
+  const series = [...groups, ...(other.length ? ["other"] : [])];
+  const palette = {
+    radio: css("--series-1"), fds: css("--series-2"),
+    sim: css("--series-3"), other: css("--muted"),
+  };
+  const totals = rows.map(r => series.reduce((acc, g) =>
+    acc + (g === "other"
+      ? other.reduce((a, o) => a + (r.counts[o] || 0), 0)
+      : (r.counts[g] || 0)), 0));
+  const maxT = Math.max(...totals, 1);
+  const pad = 10, base = h - 16;
+  const bw = Math.max((w - 2 * pad) / rows.length - 2, 1);
+  ctx.strokeStyle = css("--baseline");
+  ctx.beginPath(); ctx.moveTo(pad, base + 0.5);
+  ctx.lineTo(w - pad, base + 0.5); ctx.stroke();
+  rows.forEach((r, i) => {
+    let y = base;
+    const x = pad + i * ((w - 2 * pad) / rows.length);
+    for (const g of series) {
+      const v = g === "other"
+        ? other.reduce((a, o) => a + (r.counts[o] || 0), 0)
+        : (r.counts[g] || 0);
+      if (!v) continue;
+      const hh = v / maxT * (base - pad);
+      ctx.fillStyle = palette[g];
+      // 2px surface gap between stacked segments.
+      ctx.fillRect(x, y - hh, bw, Math.max(hh - 2, 1));
+      y -= hh;
+    }
+  });
+  ctx.fillStyle = css("--muted");
+  ctx.font = "10px system-ui, sans-serif";
+  ctx.fillText("t=" + rows[0].t_start.toFixed(1), pad, h - 4);
+  const last = rows[rows.length - 1];
+  const label = "t=" + last.t_start.toFixed(1);
+  ctx.fillText(label, w - pad - ctx.measureText(label).width, h - 4);
+  document.getElementById("tl-legend").innerHTML = series.map(g =>
+    '<span><span class="swatch" style="background:' + palette[g] +
+    '"></span>' + g + "</span>").join("");
+}
+
+function renderLatency(lat) {
+  const canvas = document.getElementById("latency");
+  const [ctx, w, h] = sizeCanvas(canvas);
+  ctx.fillStyle = css("--surface-1");
+  ctx.fillRect(0, 0, w, h);
+  const values = (lat.crashes || [])
+    .filter(c => c.latency_phi != null).map(c => c.latency_phi);
+  if (!values.length) {
+    ctx.fillStyle = css("--muted");
+    ctx.fillText("no detected crashes", 12, 20);
+    return;
+  }
+  const edges = [0.5, 1, 1.5, 2, 3, 4, 6, 8];
+  const counts = new Array(edges.length + 1).fill(0);
+  for (const v of values) {
+    let i = edges.findIndex(e => v <= e);
+    counts[i < 0 ? edges.length : i] += 1;
+  }
+  const maxC = Math.max(...counts, 1);
+  const pad = 10, base = h - 16;
+  const bw = (w - 2 * pad) / counts.length - 2;
+  ctx.strokeStyle = css("--baseline");
+  ctx.beginPath(); ctx.moveTo(pad, base + 0.5);
+  ctx.lineTo(w - pad, base + 0.5); ctx.stroke();
+  ctx.fillStyle = css("--series-1");
+  counts.forEach((c, i) => {
+    const x = pad + i * ((w - 2 * pad) / counts.length);
+    const hh = c / maxC * (base - pad);
+    if (c) ctx.fillRect(x, base - hh, bw, hh);
+  });
+  ctx.fillStyle = css("--muted");
+  ctx.font = "10px system-ui, sans-serif";
+  const ticks = ["\\u22640.5", "\\u22642", "\\u22648", ">8"];
+  const at = [0, 3, 7, 8];
+  ticks.forEach((t, i) => {
+    const x = pad + at[i] * ((w - 2 * pad) / counts.length);
+    ctx.fillText(t, x, h - 4);
+  });
+}
+
+function startFeed() {
+  const feed = document.getElementById("feed");
+  const source = new EventSource("/events?kinds=fds,sim,meta");
+  source.onmessage = ev => {
+    const rec = JSON.parse(ev.data);
+    const li = document.createElement("li");
+    li.innerHTML = '<span class="t">' +
+      Number(rec.time).toFixed(3) + "</span> " + rec.kind +
+      (rec.node != null ? " node=" + rec.node : "");
+    feed.appendChild(li);
+    while (feed.children.length > 200) feed.removeChild(feed.firstChild);
+    feed.scrollTop = feed.scrollHeight;
+  };
+}
+
+async function refresh() {
+  try {
+    const [summary, topo, tl, lat] = await Promise.all([
+      fetchJSON("/api/summary"), fetchJSON("/api/topology"),
+      fetchJSON("/api/timeline"), fetchJSON("/api/latency"),
+    ]);
+    renderSummary(summary);
+    renderMap(topo);
+    renderTimeline(tl);
+    renderLatency(lat);
+  } catch (err) {
+    document.getElementById("meta").textContent = String(err);
+  }
+}
+
+refresh();
+setInterval(refresh, 3000);
+startFeed();
+window.addEventListener("resize", refresh);
+</script>
+</body>
+</html>
+"""

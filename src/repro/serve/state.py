@@ -1,0 +1,132 @@
+"""Server-side view models: cached spool reductions and store snapshots.
+
+The dashboard serves two kinds of state:
+
+- **spool views** -- the ``repro trace`` reductions (summary, timeline,
+  latency, lineage, topology) computed from a JSONL spool.  Reductions
+  are cached against the file's ``(mtime_ns, size)`` stamp, so a
+  recorded spool is analyzed exactly once while a *growing* spool is
+  re-reduced whenever a request observes new bytes -- the reader only
+  ever opens the file read-only, so a live writer (lock-serialized
+  :class:`~repro.obs.spool.SpoolingTracer`) is never blocked or
+  corrupted;
+- **store views** -- campaign status (shared with ``repro campaign
+  status --json``) and the per-campaign persisted metrics snapshots,
+  folded into one registry for ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.analyze import (
+    TraceSummary,
+    latency_payload,
+    lineage,
+    lineage_payload,
+    summarize,
+    summary_payload,
+    timeline,
+    timeline_payload,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spool import iter_spool
+from repro.obs.topology import topology_payload, topology_view
+
+
+class SpoolView:
+    """Stamp-cached analyzer reductions over one spool file."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        if not self.path.is_file():
+            raise ConfigurationError(f"no trace spool at {self.path}")
+        self._cache: Dict[Any, Tuple[Tuple[int, int], Any]] = {}
+        # Reductions are one-pass streams; serialize them so concurrent
+        # requests do not redundantly re-reduce the same new stamp.
+        self._lock = threading.Lock()
+
+    def _stamp(self) -> Tuple[int, int]:
+        stat = self.path.stat()
+        return (stat.st_mtime_ns, stat.st_size)
+
+    def _cached(self, key: Any, build: Callable[[], Any]) -> Any:
+        with self._lock:
+            stamp = self._stamp()
+            hit = self._cache.get(key)
+            if hit is not None and hit[0] == stamp:
+                return hit[1]
+            value = build()
+            self._cache[key] = (stamp, value)
+            return value
+
+    # -- reductions ----------------------------------------------------
+    def summary(self) -> TraceSummary:
+        return self._cached(
+            "summary", lambda: summarize(iter_spool(self.path))
+        )
+
+    def summary_payload(self) -> Dict[str, Any]:
+        return summary_payload(self.summary())
+
+    def timeline_payload(self, bucket: Optional[float] = None) -> Dict[str, Any]:
+        def build() -> Dict[str, Any]:
+            rows, meta = timeline(iter_spool(self.path), bucket=bucket)
+            return timeline_payload(rows, meta, bucket=bucket)
+
+        return self._cached(("timeline", bucket), build)
+
+    def latency_payload(self) -> Dict[str, Any]:
+        return latency_payload(self.summary())
+
+    def lineage_payload(self, target: int) -> Dict[str, Any]:
+        return self._cached(
+            ("lineage", int(target)),
+            lambda: lineage_payload(
+                lineage(iter_spool(self.path), int(target))
+            ),
+        )
+
+    def topology_payload(self) -> Dict[str, Any]:
+        return self._cached(
+            "topology",
+            lambda: topology_payload(topology_view(iter_spool(self.path))),
+        )
+
+
+class StoreView:
+    """Campaign status + persisted metrics of one result store."""
+
+    def __init__(self, root: Path) -> None:
+        # Deferred import: repro.campaign pulls the experiments stack,
+        # which a spool-only dashboard should not pay for.
+        from repro.campaign.store import ResultStore
+
+        self.store = ResultStore(Path(root))
+
+    def campaigns_payload(self) -> Dict[str, Any]:
+        from repro.campaign.cli import status_payload
+
+        return status_payload(self.store)
+
+    def merge_metrics(self, registry: MetricsRegistry) -> int:
+        """Fold every campaign's persisted snapshot into ``registry``.
+
+        Reads the ``metrics.json`` dual of each campaign's
+        ``metrics.prom`` (same registry, exact JSON numbers instead of
+        re-parsing the text format).  Returns the campaign count folded.
+        """
+        merged = 0
+        for campaign_id in self.store.campaign_ids():
+            path = self.store.campaign_dir(campaign_id) / "metrics.json"
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+            except (FileNotFoundError, json.JSONDecodeError):
+                continue
+            registry.merge_json(payload)
+            merged += 1
+        return merged

@@ -376,6 +376,11 @@ def run_array_scenario(
             executions=config.executions,
             fds_start=fds_start,
         )
+        # Cluster map for the dashboard's /api/topology, same shape as
+        # the event engine's record (heads/members/deputies/boundaries).
+        from repro.obs.topology import TOPOLOGY_KIND, array_topology_detail
+
+        tracer.record(0.0, TOPOLOGY_KIND, **array_topology_detail(layout))
         # Crash ground truth, as the event engine's node runtime emits
         # it -- the spool must stay self-describing (``repro trace
         # latency`` recovers crash times from ``sim.crash`` alone).

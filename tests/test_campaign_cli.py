@@ -229,3 +229,53 @@ class TestSoakCli:
 class TestBenchCli:
     def test_find_repo_root(self):
         assert find_repo_root() == REPO_ROOT
+
+
+class TestStatusJson:
+    def test_status_json_is_stable_sorted_and_has_progress(
+        self, tmp_path, capsys
+    ):
+        store = str(tmp_path / "store")
+        # Two campaigns so the sort order is observable.
+        assert main(["campaign", "run", *MC_ARGS, "--store", store]) == 0
+        assert main([
+            "campaign", "run", "--kind", "mc", "--estimator",
+            "incompleteness", "--n", "30", "--p", "0.3",
+            "--trials", "8000", "--chunks", "4", "--store", store,
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "campaign", "status", "--store", store, "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["store"] == store
+        ids = [info["id"] for info in payload["campaigns"]]
+        assert len(ids) == 2 and ids == sorted(ids)
+        for info in payload["campaigns"]:
+            assert info["complete"] is True
+            progress = info["progress"]
+            # Finished campaigns report drained ETA and their final rate.
+            assert progress["eta_s"] == 0.0
+            assert progress["replications_done"] >= 1
+            assert progress["reps_per_s"] is None \
+                or progress["reps_per_s"] >= 0.0
+
+    def test_status_json_single_id_filter(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", *MC_ARGS, "--store", store]) == 0
+        out = capsys.readouterr().out
+        campaign_id = out.split()[1].rstrip(":")
+        assert main([
+            "campaign", "status", "--store", store,
+            "--id", campaign_id, "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [info["id"] for info in payload["campaigns"]] == [campaign_id]
+
+    def test_status_table_shows_eta_column(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["campaign", "run", *MC_ARGS, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "status", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "eta_s" in out

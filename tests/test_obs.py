@@ -408,3 +408,91 @@ class TestObservabilityIsPassive:
         replay = [r for r in spooled if r.kind != "meta.scenario"]
         assert [r.kind for r in replay] == [r.kind for r in in_memory]
         assert [r.time for r in replay] == [r.time for r in in_memory]
+
+
+# ----------------------------------------------------------------------
+# Prometheus 0.0.4 exposition conventions
+# ----------------------------------------------------------------------
+class TestPrometheusExposition:
+    """Locks the text-format details scrapers depend on: the counter
+    ``_total`` suffix convention, HELP-line escaping, and the
+    bucket/+Inf/sum/count ordering of histograms."""
+
+    SAMPLE_RE = re.compile(
+        r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+"
+        r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{le=\"[^\"]+\"\})? "
+        r"[-+]?([0-9.]+([eE][-+]?[0-9]+)?|inf|nan))$"
+    )
+
+    def test_counter_gains_total_suffix(self):
+        reg = MetricsRegistry()
+        reg.counter("events", "Plain counter").inc(3)
+        text = reg.render_prometheus()
+        assert "# TYPE events_total counter" in text
+        assert "\nevents_total 3\n" in text
+        # The JSON dual keeps the registered name untouched.
+        assert reg.to_json()["counters"] == {"events": 3.0}
+
+    def test_counter_with_suffix_not_doubled(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total").inc()
+        text = reg.render_prometheus()
+        assert "requests_total 1" in text
+        assert "requests_total_total" not in text
+
+    def test_help_escapes_backslash_and_newline(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", "line one\nline two \\ backslash").set(1)
+        text = reg.render_prometheus()
+        assert "# HELP g line one\\nline two \\\\ backslash" in text
+        # The raw newline must never split the HELP line in two.
+        assert "\nline two" not in text
+
+    def test_histogram_order_inf_sum_count(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", (0.1, 0.5), "Latency")
+        for v in (0.05, 0.3, 2.0):
+            h.observe(v)
+        lines = reg.render_prometheus().rstrip("\n").split("\n")
+        samples = [l for l in lines if not l.startswith("#")]
+        assert samples == [
+            'lat_bucket{le="0.1"} 1',
+            'lat_bucket{le="0.5"} 2',
+            'lat_bucket{le="+Inf"} 3',
+            "lat_sum 2.35",
+            "lat_count 3",
+        ]
+
+    def test_every_line_matches_exposition_grammar(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "With help").inc(2)
+        reg.gauge("b", "Gauge help\nwith newline").set(-1.5)
+        reg.histogram("c", (1.0,), "Hist").observe(0.5)
+        text = reg.render_prometheus()
+        assert text.endswith("\n")
+        for line in text.rstrip("\n").split("\n"):
+            assert self.SAMPLE_RE.match(line), line
+
+    def test_merge_json_accumulates(self):
+        src = MetricsRegistry()
+        src.counter("hits_total").inc(5)
+        src.gauge("level").set(2.0)
+        src.histogram("lat", (1.0, 2.0)).observe(0.5)
+        dst = MetricsRegistry()
+        dst.counter("hits_total").inc(1)
+        dst.gauge("level").set(9.0)
+        dst.merge_json(src.to_json())
+        dst.merge_json(src.to_json())
+        snap = dst.to_json()
+        assert snap["counters"]["hits_total"] == 11.0
+        assert snap["gauges"]["level"] == 2.0  # last write wins
+        assert snap["histograms"]["lat"]["count"] == 2
+        assert snap["histograms"]["lat"]["counts"] == [2, 0]
+
+    def test_merge_json_rejects_bucket_mismatch(self):
+        src = MetricsRegistry()
+        src.histogram("lat", (1.0, 2.0)).observe(0.5)
+        dst = MetricsRegistry()
+        dst.histogram("lat", (1.0, 5.0))
+        with pytest.raises(ConfigurationError):
+            dst.merge_json(src.to_json())

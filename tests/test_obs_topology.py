@@ -1,0 +1,132 @@
+"""The ``meta.topology`` record: emission by every engine, reconstruction.
+
+The record makes the spool self-describing for *structure* the way
+``meta.scenario`` makes it self-describing for *time*: the dashboard's
+cluster map is rebuilt from the spool alone.  The cross-engine contract
+is that the event and array engines serialize byte-identical details for
+the same deployment, so topology never perturbs trace fingerprints
+differentially.
+"""
+
+import json
+
+from repro.experiments.runner import ScenarioConfig, run_scenario
+from repro.obs.spool import SpoolingTracer, read_spool
+from repro.obs.topology import (
+    TOPOLOGY_KIND,
+    TopologyView,
+    topology_payload,
+    topology_view,
+)
+from repro.sim.trace import TraceRecord
+
+
+def _spool_scenario(tmp_path, **overrides):
+    config = ScenarioConfig(
+        cluster_count=2, members_per_cluster=6, crash_count=1,
+        executions=2, seed=7, **overrides,
+    )
+    path = tmp_path / "t.jsonl"
+    with SpoolingTracer(path) as tracer:
+        run_scenario(config, tracer=tracer)
+    return path
+
+
+class TestEmission:
+    def test_event_engine_emits_one_record_after_meta(self, tmp_path):
+        records = read_spool(_spool_scenario(tmp_path))
+        kinds = [r.kind for r in records[:2]]
+        assert kinds == ["meta.scenario", TOPOLOGY_KIND]
+        assert sum(1 for r in records if r.kind == TOPOLOGY_KIND) == 1
+        detail = records[1].detail
+        assert len(detail["clusters"]) == 2
+        assert len(detail["nodes"]) == len(detail["x"]) == len(detail["y"])
+
+    def test_array_engine_emits_identical_shape(self, tmp_path):
+        records = read_spool(_spool_scenario(tmp_path, engine="array"))
+        topo = next(r for r in records if r.kind == TOPOLOGY_KIND)
+        assert set(topo.detail) == {
+            "clusters", "boundaries", "unclustered", "nodes", "x", "y",
+        }
+        assert len(topo.detail["clusters"]) == 2
+
+    def test_engines_serialize_identical_topology(self, tmp_path):
+        """Same deployment -> byte-identical detail, so the record can
+        live inside fingerprinted differential traces."""
+        event = read_spool(_spool_scenario(tmp_path / "e"))
+        array = read_spool(
+            _spool_scenario(tmp_path / "a", engine="array")
+        )
+        pick = lambda records: next(
+            r.detail for r in records if r.kind == TOPOLOGY_KIND
+        )
+        assert json.dumps(pick(event), sort_keys=True) \
+            == json.dumps(pick(array), sort_keys=True)
+
+
+class TestReconstruction:
+    def test_view_crosses_topology_with_crash_stream(self, tmp_path):
+        view = topology_view(
+            iter(read_spool(_spool_scenario(tmp_path)))
+        )
+        assert view.found and view.meta.found
+        assert len(view.positions) == view.meta.nodes
+        roles = view.roles()
+        heads = {c["head"] for c in view.clusters}
+        assert {n for n, role in roles.items() if role == "head"} == heads
+        owners = view.cluster_of()
+        for head in heads:
+            assert owners[head] == head
+        assert len(view.crash_times) == 1
+        crashed = next(iter(view.crash_times))
+        # The injected crash was detected; latency is positive.
+        assert view.first_detection[crashed] > view.crash_times[crashed]
+
+    def test_role_precedence_head_beats_deputy_beats_gateway(self):
+        view = TopologyView(
+            clusters=[
+                {"head": 1, "members": [1, 2, 3], "deputies": [2]},
+                {"head": 5, "members": [5, 6], "deputies": [6]},
+            ],
+            boundaries=[{"owner": 1, "peer": 5, "forwarders": [2, 3]}],
+            unclustered=[9],
+            positions={n: (0.0, 0.0) for n in (1, 2, 3, 5, 6, 9)},
+        )
+        roles = view.roles()
+        assert roles[1] == "head"
+        assert roles[2] == "deputy"     # deputy wins over gateway
+        assert roles[3] == "gateway"
+        assert roles[6] == "deputy"
+        assert roles[9] == "unclustered"
+
+    def test_pre_topology_spool_degrades_gracefully(self):
+        records = [
+            TraceRecord(time=0.0, kind="meta.scenario", node=None,
+                        detail={"nodes": 2, "phi": 30.0, "thop": 0.5,
+                                "seed": 0, "executions": 1}),
+            TraceRecord(time=3.0, kind="sim.crash", node=1, detail={}),
+            TraceRecord(time=4.0, kind="fds.detection", node=0,
+                        detail={"target": 1}),
+        ]
+        view = topology_view(iter(records))
+        assert view.found is False
+        payload = topology_payload(view)
+        assert payload["found"] is False
+        assert payload["crashed"] == payload["detected"] == 1
+        row = next(n for n in payload["nodes"] if n["id"] == 1)
+        assert row["x"] is None and row["crashed_at"] == 3.0
+        assert row["detected_at"] == 4.0
+
+    def test_payload_clusters_and_counts(self, tmp_path):
+        view = topology_view(
+            iter(read_spool(_spool_scenario(tmp_path)))
+        )
+        payload = topology_payload(view)
+        assert payload["found"] is True
+        assert sum(c["size"] for c in payload["clusters"]) \
+            + len(payload["unclustered"]) == view.meta.nodes
+        assert payload["meta"]["nodes"] == view.meta.nodes
+        for row in payload["nodes"]:
+            assert row["role"] in (
+                "head", "deputy", "gateway", "member", "unclustered"
+            )

@@ -1,0 +1,109 @@
+"""Heap-merge edge cases of the rt spool collector.
+
+The collector reconstructs one global trace from per-node spools that
+may be empty (a node crashed before emitting), torn (killed mid-write),
+or carry equal timestamps (wall-clock granularity); the merge must stay
+deterministic through all three.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rt.collector import (
+    MERGED_NAME,
+    iter_merged,
+    merge_spools,
+    spool_files,
+)
+
+
+def _write(path: Path, *records: dict) -> None:
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+class TestSpoolFiles:
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no spool directory"):
+            spool_files(tmp_path / "absent")
+
+    def test_merged_output_is_excluded_from_inputs(self, tmp_path):
+        _write(tmp_path / "node-0.jsonl", {"time": 0.0, "kind": "a"})
+        _write(tmp_path / MERGED_NAME, {"time": 9.0, "kind": "stale"})
+        assert [p.name for p in spool_files(tmp_path)] == ["node-0.jsonl"]
+
+
+class TestMergeEdgeCases:
+    def test_empty_per_node_spool_is_harmless(self, tmp_path):
+        (tmp_path / "node-0.jsonl").write_text("")
+        _write(
+            tmp_path / "node-1.jsonl",
+            {"time": 1.0, "kind": "fds.ping", "node": 1},
+            {"time": 3.0, "kind": "fds.ping", "node": 1},
+        )
+        _write(
+            tmp_path / "run.jsonl",
+            {"time": 0.0, "kind": "meta.scenario", "nodes": 2},
+        )
+        merged = list(iter_merged(tmp_path))
+        assert [r.time for r in merged] == [0.0, 1.0, 3.0]
+
+    def test_all_spools_empty_yields_empty_merge(self, tmp_path):
+        (tmp_path / "node-0.jsonl").write_text("")
+        (tmp_path / "node-1.jsonl").write_text("")
+        target = merge_spools(tmp_path)
+        assert target == tmp_path / MERGED_NAME
+        assert target.read_text() == ""
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        whole = json.dumps({"time": 1.0, "kind": "fds.ping", "node": 0})
+        torn = json.dumps({"time": 2.0, "kind": "fds.ping", "node": 0})
+        (tmp_path / "node-0.jsonl").write_text(
+            whole + "\n" + torn[: len(torn) // 2]
+        )
+        _write(
+            tmp_path / "node-1.jsonl",
+            {"time": 1.5, "kind": "sim.crash", "node": 1},
+        )
+        merged = list(iter_merged(tmp_path))
+        assert [(r.time, r.kind) for r in merged] == [
+            (1.0, "fds.ping"), (1.5, "sim.crash"),
+        ]
+
+    def test_duplicate_timestamps_merge_stably_by_file_order(self, tmp_path):
+        """Equal ``(time, kind)`` keys keep source order -- files sort by
+        name and ``heapq.merge`` is stable -- so re-merging the same
+        directory always produces byte-identical output."""
+        _write(
+            tmp_path / "node-0.jsonl",
+            {"time": 5.0, "kind": "fds.ping", "node": 0, "src": "a"},
+            {"time": 5.0, "kind": "fds.ping", "node": 0, "src": "a2"},
+        )
+        _write(
+            tmp_path / "node-1.jsonl",
+            {"time": 5.0, "kind": "fds.ping", "node": 1, "src": "b"},
+        )
+        merged = list(iter_merged(tmp_path))
+        assert [r.detail["src"] for r in merged] == ["a", "a2", "b"]
+        # Equal timestamps, distinct kinds: the kind tie-break orders
+        # them regardless of which file they came from.
+        _write(
+            tmp_path / "node-2.jsonl",
+            {"time": 5.0, "kind": "fds.ack", "node": 2, "src": "c"},
+        )
+        merged = list(iter_merged(tmp_path))
+        assert [r.detail["src"] for r in merged] == ["c", "a", "a2", "b"]
+
+    def test_remerge_overwrites_not_appends(self, tmp_path):
+        _write(
+            tmp_path / "node-0.jsonl",
+            {"time": 1.0, "kind": "fds.ping", "node": 0},
+        )
+        first = merge_spools(tmp_path).read_text()
+        second = merge_spools(tmp_path).read_text()
+        assert first == second
+        assert second.count("\n") == 1
